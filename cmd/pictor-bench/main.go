@@ -1,0 +1,280 @@
+// Command pictor-bench regenerates any table or figure from the
+// paper's evaluation.
+//
+// Usage:
+//
+//	pictor-bench -exp fig10 [-seconds 60] [-seed 1]
+//	pictor-bench -exp all
+//
+// Experiment ids: tab2 tab3 tab4 fig6 fig7 overhead fig8 fig9 fig10
+// fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
+// fig22.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pictor/internal/agent"
+	"pictor/internal/app"
+	"pictor/internal/core"
+	"pictor/internal/sim"
+	"pictor/internal/trace"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (tab2, tab3, tab4, fig6..fig22, overhead) or 'all'")
+	seconds := flag.Float64("seconds", 45, "measurement window (simulated seconds)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	instances := flag.Int("max-instances", 4, "sweep upper bound for figs 10–17")
+	flag.Parse()
+
+	cfg := core.DefaultExperimentConfig()
+	cfg.Seconds = *seconds
+	cfg.Seed = *seed
+	cfg.MaxInstances = *instances
+
+	all := map[string]func(core.ExperimentConfig){
+		"tab2": tab2, "tab3": tab3, "tab4": tab4,
+		"fig6": fig6, "fig7": fig7, "overhead": overhead,
+		"fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
+		"fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
+		"fig16": fig16, "fig17": fig17, "fig18": fig18, "fig19": fig19,
+		"fig20": fig20, "fig21": fig21, "fig22": fig22,
+	}
+	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22"}
+
+	id := strings.ToLower(*exp)
+	if id == "all" {
+		for _, e := range order {
+			banner(e)
+			all[e](cfg)
+		}
+		return
+	}
+	run, ok := all[id]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+	banner(id)
+	run(cfg)
+}
+
+func banner(id string) { fmt.Printf("\n========== %s ==========\n", id) }
+
+func tab2(core.ExperimentConfig) {
+	var rows [][]string
+	for _, p := range app.Suite() {
+		src := "open-source"
+		if p.ClosedSource {
+			src = "closed-source"
+		}
+		rows = append(rows, []string{p.Genre, p.FullName + " (" + p.Name + ")", src})
+	}
+	fmt.Print(core.FormatTable([]string{"Application Area", "Benchmark", "Source"}, rows))
+}
+
+func tab4(core.ExperimentConfig) { fmt.Print(core.FeatureMatrix()) }
+
+func fig6(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		for _, r := range core.RunMethodologyComparison(prof, cfg) {
+			fmt.Printf("%-4s %-10s mean %6.1f  p1 %6.1f  p25 %6.1f  p75 %6.1f  p99 %6.1f ms\n",
+				prof.Name, r.Method, r.RTT.Mean, r.RTT.P1, r.RTT.P25, r.RTT.P75, r.RTT.P99)
+		}
+	}
+}
+
+func tab3(cfg core.ExperimentConfig) {
+	var rows [][]string
+	avg := map[string]float64{}
+	for _, prof := range app.Suite() {
+		rs := core.RunMethodologyComparison(prof, cfg)
+		row := []string{prof.Name}
+		for _, r := range rs[1:] {
+			row = append(row, fmt.Sprintf("%.1f%%", r.ErrVsHuman))
+			avg[r.Method] += r.ErrVsHuman / float64(len(app.Suite()))
+		}
+		rows = append(rows, row)
+	}
+	fmt.Print(core.FormatTable([]string{"bench", "Pictor-IC", "DeskBench", "Chen", "SlowMotion"}, rows))
+	fmt.Printf("avg: IC %.1f%%  DB %.1f%%  CH %.1f%%  SM %.1f%%  (paper: 1.6 / 11.6 / 30.0 / 27.9)\n",
+		avg["Pictor-IC"], avg["DeskBench"], avg["Chen"], avg["SlowMotion"])
+}
+
+func fig7(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		models, _, _ := core.TrainedModels(prof)
+		cl := core.NewCluster(core.Options{Seed: cfg.Seed})
+		cl.AddInstance(core.NewInstanceConfig(prof, core.ICDriver(models)))
+		cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+		ic := cl.Instances[0].Driver.(*agent.IntelligentClient)
+		fmt.Printf("%-4s CV %6.1f ms   RNN %5.2f ms   APM %5.0f\n",
+			prof.Name, ic.CVTimes.Mean(), ic.RNNTimes.Mean(), ic.APM())
+	}
+}
+
+func overhead(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		r := core.RunOverhead(prof, cfg)
+		fmt.Printf("%-4s native %5.1f fps  traced %5.1f (%+.1f%%)  single-buffered %5.1f (%+.1f%%)\n",
+			r.Benchmark, r.FPSNoTrace, r.FPSTraced, r.OverheadPct, r.FPSTracedSB, r.OverheadSBPct)
+	}
+}
+
+func fig8(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		r := core.RunCharacterization(prof, 1, core.HumanDriver(), cfg)[0]
+		fmt.Printf("%-4s app CPU %5.0f%%  VNC CPU %5.0f%%  GPU %4.1f%%  mem %4.0fMB  gpuMem %3.0fMB\n",
+			r.Benchmark, r.AppCPUUtil, r.VNCCPUUtil, r.GPUUtil, r.FootprintMB, r.GPUMemoryMB)
+	}
+}
+
+func fig9(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		r := core.RunCharacterization(prof, 1, core.HumanDriver(), cfg)[0]
+		fmt.Printf("%-4s net %4.0f Mbps down / %4.1f up   PCIe %6.1f MB/s from-GPU / %6.1f to-GPU\n",
+			r.Benchmark, r.NetDownMbps, r.NetUpMbps, r.PCIeFromGPU, r.PCIeToGPU)
+	}
+}
+
+func sweepPrint(cfg core.ExperimentConfig, format func(r core.InstanceResult) string) {
+	for _, prof := range app.Suite() {
+		fmt.Printf("%-4s", prof.Name)
+		for n := 1; n <= cfg.MaxInstances; n++ {
+			r := core.RunCharacterization(prof, n, core.HumanDriver(), cfg)[0]
+			fmt.Printf("  [%d] %s", n, format(r))
+		}
+		fmt.Println()
+	}
+}
+
+func fig10(cfg core.ExperimentConfig) {
+	sweepPrint(cfg, func(r core.InstanceResult) string {
+		return fmt.Sprintf("srv %5.1f cli %5.1f", r.ServerFPS, r.ClientFPS)
+	})
+}
+
+func fig11(cfg core.ExperimentConfig) {
+	sweepPrint(cfg, func(r core.InstanceResult) string {
+		return fmt.Sprintf("CS %4.1f srv %5.1f SS %5.1f",
+			r.Stages[trace.StageCS].Mean, r.ServerTimeMs(), r.Stages[trace.StageSS].Mean)
+	})
+}
+
+func fig12(cfg core.ExperimentConfig) {
+	sweepPrint(cfg, func(r core.InstanceResult) string {
+		return fmt.Sprintf("PS %4.1f app %5.1f AS %4.1f CP %5.1f",
+			r.Stages[trace.StagePS].Mean, r.AppTimeMs(),
+			r.Stages[trace.StageAS].Mean, r.Stages[trace.StageCP].Mean)
+	})
+}
+
+func fig13(cfg core.ExperimentConfig) {
+	sweepPrint(cfg, func(r core.InstanceResult) string {
+		return fmt.Sprintf("AL %5.1f FC %5.1f RD %5.1f",
+			r.Stages[trace.StageAL].Mean, r.Stages[trace.StageFC].Mean, r.Stages[trace.StageRD].Mean)
+	})
+}
+
+func fig14(cfg core.ExperimentConfig) {
+	sweepPrint(cfg, func(r core.InstanceResult) string {
+		return fmt.Sprintf("BE %4.1f%% IPC %.2f", r.CPUTopDown.BackEnd*100, r.CPUTopDown.IPC)
+	})
+}
+
+func fig15(cfg core.ExperimentConfig) {
+	sweepPrint(cfg, func(r core.InstanceResult) string {
+		return fmt.Sprintf("%4.1f%%", r.L3MissRate*100)
+	})
+}
+
+func fig16(cfg core.ExperimentConfig) {
+	sweepPrint(cfg, func(r core.InstanceResult) string {
+		if r.GPUL2Miss < 0 {
+			return "N/A"
+		}
+		return fmt.Sprintf("L2 %4.1f%% tex %4.1f%%", r.GPUL2Miss*100, r.GPUTexMiss*100)
+	})
+}
+
+func fig17(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		fmt.Printf("%-4s", prof.Name)
+		var first float64
+		for n := 1; n <= cfg.MaxInstances; n++ {
+			_, watts := core.RunCharacterizationWithPower(prof, n, core.HumanDriver(), cfg)
+			per := watts / float64(n)
+			if n == 1 {
+				first = per
+			}
+			fmt.Printf("  [%d] %5.1fW (%+5.1f%%)", n, per, (per-first)/first*100)
+		}
+		fmt.Println()
+	}
+}
+
+func fig18(cfg core.ExperimentConfig) {
+	ok := 0
+	for _, pair := range core.SortedPairNames() {
+		a, _ := app.ByName(pair[0])
+		b, _ := app.ByName(pair[1])
+		ra, rb := core.RunPair(a, b, cfg)
+		if ra.ClientFPS >= 25 && rb.ClientFPS >= 25 {
+			ok++
+		}
+		fmt.Printf("%-4s+%-4s  %5.1f / %5.1f fps\n", pair[0], pair[1], ra.ClientFPS, rb.ClientFPS)
+	}
+	fmt.Printf("%d of 15 pairs ≥ 25 fps for both (paper: 11 of 15)\n", ok)
+}
+
+func fig19(cfg core.ExperimentConfig) {
+	d2 := app.D2()
+	solo := core.RunCharacterization(d2, 1, core.HumanDriver(), cfg)[0]
+	for _, prof := range app.Suite() {
+		if prof.Name == d2.Name {
+			continue
+		}
+		rd2, _ := core.RunPair(d2, prof, cfg)
+		fmt.Printf("D2 + %-4s  fps loss %5.1f%%   L3 +%4.1fpt   GPU L2 +%4.1fpt\n",
+			prof.Name,
+			(solo.ServerFPS-rd2.ServerFPS)/solo.ServerFPS*100,
+			(rd2.L3MissRate-solo.L3MissRate)*100,
+			(rd2.GPUL2Miss-solo.GPUL2Miss)*100)
+	}
+}
+
+func fig20(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		r := core.RunContainerOverhead(prof, cfg)
+		fmt.Printf("%-4s FPS %+5.1f%%   RTT %+5.1f%%   RD %+5.1f%%\n",
+			r.Benchmark, r.FPSOverheadPct, r.RTTOverheadPct, r.RDOverheadPct)
+	}
+}
+
+func fig21(cfg core.ExperimentConfig) {
+	for _, prof := range app.Suite() {
+		r := core.RunOptimization(prof, cfg)
+		fmt.Printf("%-4s FC %5.1f ms → %4.1f ms (halt removed: %4.1f ms)\n",
+			r.Benchmark, r.BaseFCMs, r.OptFCMs, r.BaseFCMs-r.OptFCMs)
+	}
+}
+
+func fig22(cfg core.ExperimentConfig) {
+	var sGain, cGain, rttRed float64
+	for _, prof := range app.Suite() {
+		r := core.RunOptimization(prof, cfg)
+		sGain += r.ServerFPSGain / float64(len(app.Suite()))
+		cGain += r.ClientFPSGain / float64(len(app.Suite()))
+		rttRed += r.RTTReduction / float64(len(app.Suite()))
+		fmt.Printf("%-4s server %+6.1f%%   client %+6.1f%%   RTT %+6.1f%%\n",
+			r.Benchmark, r.ServerFPSGain, r.ClientFPSGain, -r.RTTReduction)
+	}
+	fmt.Printf("avg: server %+.1f%% (paper +57.7%%), client %+.1f%% (paper +7.4%%), RTT %+.1f%% (paper −8.5%%)\n",
+		sGain, cGain, -rttRed)
+}

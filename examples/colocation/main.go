@@ -1,0 +1,38 @@
+// Colocation: the paper's consolidation question (§5.2) — how many 3D
+// instances can share one server before quality-of-service (25 FPS)
+// collapses, and what it does to latency and power.
+package main
+
+import (
+	"fmt"
+
+	"pictor"
+)
+
+func main() {
+	prof := pictor.SuiteByName("IM") // InMind VR
+	fmt.Printf("co-locating 1–4 instances of %s on one server:\n\n", prof.FullName)
+	var basePower float64
+	for n := 1; n <= 4; n++ {
+		cluster := pictor.NewCluster(pictor.Options{Seed: 7})
+		for i := 0; i < n; i++ {
+			cluster.AddInstance(pictor.NewInstanceConfig(prof, pictor.HumanDriver()))
+		}
+		cluster.RunSeconds(3, 25)
+		r := cluster.Results()[0]
+		power := cluster.TotalPowerWatts()
+		perInstance := power / float64(n)
+		if n == 1 {
+			basePower = perInstance
+		}
+		qos := "meets 25-FPS QoS"
+		if r.ClientFPS < 25 {
+			qos = "BELOW QoS"
+		}
+		fmt.Printf("%d instance(s): client %5.1f fps (%s)   RTT %6.1f ms   L3 miss %4.1f%%   %5.1f W/instance (%+.0f%%)\n",
+			n, r.ClientFPS, qos, r.RTT.Mean, r.L3MissRate*100,
+			perInstance, (perInstance-basePower)/basePower*100)
+	}
+	fmt.Println("\nConsolidation cuts per-instance power sharply (the paper's")
+	fmt.Println("Figure 17) while contention shows up in latency and miss rates.")
+}

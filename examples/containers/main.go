@@ -1,0 +1,32 @@
+// Containers: measure what Docker-style containerization costs a cloud
+// 3D instance (§5.4) and what the §6 frame-copy optimizations give
+// back — the two deployment decisions a cloud-gaming operator makes.
+package main
+
+import (
+	"fmt"
+
+	"pictor"
+)
+
+func main() {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.Seconds = 25
+
+	fmt.Println("container overhead per benchmark (bare metal vs Docker-like):")
+	for _, prof := range pictor.Suite() {
+		r := pictor.RunContainerOverhead(prof, cfg)
+		fmt.Printf("  %-4s server FPS %5.1f → %5.1f (%+.1f%%)   RTT %6.1f → %6.1f ms (%+.1f%%)\n",
+			prof.Name, r.BareServerFPS, r.ContServerFPS, -r.FPSOverheadPct,
+			r.BareRTT, r.ContRTT, r.RTTOverheadPct)
+	}
+
+	fmt.Println("\nframe-copy optimizations (XGetWindowAttributes memoization +")
+	fmt.Println("two-step asynchronous copy) per benchmark:")
+	for _, prof := range pictor.Suite() {
+		r := pictor.RunOptimization(prof, cfg)
+		fmt.Printf("  %-4s server FPS %5.1f → %5.1f (%+.1f%%)   FC %5.1f → %4.1f ms\n",
+			prof.Name, r.BaseServerFPS, r.OptServerFPS, r.ServerFPSGain,
+			r.BaseFCMs, r.OptFCMs)
+	}
+}

@@ -1,0 +1,39 @@
+// Intelligentclient: train Pictor's CNN+LSTM client for a benchmark
+// and show that the system behaves the same under the AI as under the
+// human it learned from — the paper's central validation (Table 3).
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"pictor"
+)
+
+func main() {
+	prof := pictor.SuiteByName("RE") // Red Eclipse (arena FPS)
+
+	fmt.Printf("benchmark: %s\n", prof.FullName)
+	fmt.Println("recording a human session and training the CNN+LSTM client...")
+	icDriver := pictor.IntelligentClientDriver(prof) // records + trains (cached)
+
+	run := func(driver pictor.DriverFactory) pictor.InstanceResult {
+		cluster := pictor.NewCluster(pictor.Options{Seed: 21})
+		cluster.AddInstance(pictor.NewInstanceConfig(prof, driver))
+		cluster.RunSeconds(3, 40)
+		return cluster.Results()[0]
+	}
+
+	human := run(pictor.HumanDriver())
+	ic := run(icDriver)
+
+	fmt.Printf("\n%-22s %12s %12s\n", "", "human", "intelligent")
+	fmt.Printf("%-22s %9.1f ms %9.1f ms\n", "mean input RTT", human.RTT.Mean, ic.RTT.Mean)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "server FPS", human.ServerFPS, ic.ServerFPS)
+	fmt.Printf("%-22s %12.1f %12.1f\n", "client FPS", human.ClientFPS, ic.ClientFPS)
+	fmt.Printf("%-22s %11.0f%% %11.0f%%\n", "app CPU", human.AppCPUUtil, ic.AppCPUUtil)
+
+	errPct := math.Abs(ic.RTT.Mean-human.RTT.Mean) / human.RTT.Mean * 100
+	fmt.Printf("\nmean-RTT error of the intelligent client vs the human: %.1f%%\n", errPct)
+	fmt.Println("(the paper reports 1.6% on average across the suite)")
+}

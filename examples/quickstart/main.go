@@ -1,0 +1,36 @@
+// Quickstart: run one cloud-rendered benchmark with a human-like player
+// and print the measurements Pictor's analysis framework collects.
+package main
+
+import (
+	"fmt"
+
+	"pictor"
+)
+
+func main() {
+	// A cluster is one simulated server machine (8 cores, a
+	// GTX1080Ti-class GPU, 1 Gbps per-instance networking) plus the
+	// client machines of its instances.
+	cluster := pictor.NewCluster(pictor.Options{Seed: 1})
+
+	// Place SuperTuxKart on it, played by the reference human policy.
+	stk := pictor.SuiteByName("STK")
+	cluster.AddInstance(pictor.NewInstanceConfig(stk, pictor.HumanDriver()))
+
+	// 3 simulated seconds of warmup (discarded), 30 measured.
+	cluster.RunSeconds(3, 30)
+
+	r := cluster.Results()[0]
+	fmt.Printf("%s on the cloud rendering system:\n", stk.FullName)
+	fmt.Printf("  server FPS      %6.1f\n", r.ServerFPS)
+	fmt.Printf("  client FPS      %6.1f\n", r.ClientFPS)
+	fmt.Printf("  input RTT       %6.1f ms (p99 %.1f ms)\n", r.RTT.Mean, r.RTT.P99)
+	fmt.Printf("  server time     %6.1f ms of that\n", r.ServerTimeMs())
+	fmt.Printf("  app CPU         %6.0f %%\n", r.AppCPUUtil)
+	fmt.Printf("  VNC CPU         %6.0f %%\n", r.VNCCPUUtil)
+	fmt.Printf("  GPU             %6.1f %%\n", r.GPUUtil)
+	fmt.Printf("  network         %6.0f Mbps to the client\n", r.NetDownMbps)
+	fmt.Printf("  PCIe frame copy %6.1f MB/s GPU→CPU\n", r.PCIeFromGPU)
+	fmt.Printf("  wall power      %6.0f W\n", cluster.TotalPowerWatts())
+}

@@ -1,0 +1,96 @@
+package agent
+
+import (
+	"pictor/internal/app"
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+	"pictor/internal/stats"
+)
+
+// IntelligentClient is Pictor's AI player (Figure 3): each displayed
+// frame is decompressed (the proxy already charged that), recognized by
+// the CNN, fed to the LSTM, and the sampled action — if any — is sent
+// back through the client proxy. While a frame is being analyzed, newer
+// frames replace the waiting one (the client always works on the most
+// recent state, like a human).
+type IntelligentClient struct {
+	k      *sim.Kernel
+	rng    *sim.RNG
+	prof   app.Profile
+	models *Models
+	send   func(scene.Action)
+
+	busy    bool
+	latest  *scene.Frame
+	actions int64
+
+	// CVTimes and RNNTimes are the measured inference latencies
+	// (Figure 7), in milliseconds.
+	CVTimes  stats.Sample
+	RNNTimes stats.Sample
+}
+
+// NewIntelligentClient creates the driver around trained models.
+func NewIntelligentClient(k *sim.Kernel, rng *sim.RNG, prof app.Profile, models *Models) *IntelligentClient {
+	models.ResetState()
+	return &IntelligentClient{
+		k:      k,
+		rng:    rng.Fork("ic-" + prof.Name),
+		prof:   prof,
+		models: models,
+	}
+}
+
+// Attach implements vnc.Driver.
+func (ic *IntelligentClient) Attach(send func(scene.Action)) { ic.send = send }
+
+// Actions reports how many inputs the client has issued.
+func (ic *IntelligentClient) Actions() int64 { return ic.actions }
+
+// APM reports achieved actions-per-minute over the elapsed sim time.
+func (ic *IntelligentClient) APM() float64 {
+	secs := ic.k.Now().Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(ic.actions) / secs * 60
+}
+
+// OnFrame implements vnc.Driver.
+func (ic *IntelligentClient) OnFrame(f *scene.Frame) {
+	ic.latest = f
+	ic.maybeProcess()
+}
+
+func (ic *IntelligentClient) maybeProcess() {
+	if ic.busy || ic.latest == nil {
+		return
+	}
+	f := ic.latest
+	ic.latest = nil
+	ic.busy = true
+
+	// The CNN genuinely runs on the frame's pixels; the simulated
+	// latency models the client machine executing a MobileNets-class
+	// network (the real network here is far smaller than its wall-time
+	// budget, so the budget comes from the profile).
+	detected := ic.models.Detect(f.Pixels)
+	cv := ic.rng.Jitter(sim.DurationOfSeconds(ic.prof.CVLatencyMs/1e3), 0.10)
+	ic.CVTimes.Add(float64(cv) / float64(sim.Millisecond))
+	ic.k.After(cv, func() {
+		logits := ic.models.NextActionLogits(detected)
+		act := SampleAction(logits, ic.rng)
+		rnn := ic.rng.Jitter(sim.DurationOfSeconds(ic.prof.RNNLatencyMs/1e3), 0.15)
+		ic.RNNTimes.Add(float64(rnn) / float64(sim.Millisecond))
+		ic.k.After(rnn, func() {
+			if act != scene.ActNone && act.Valid() {
+				ic.actions++
+				if ic.send != nil {
+					ic.send(act)
+				}
+			}
+			ic.busy = false
+			ic.maybeProcess()
+		})
+	})
+}

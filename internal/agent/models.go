@@ -1,0 +1,259 @@
+package agent
+
+import (
+	"math"
+	"math/rand"
+
+	"pictor/internal/nn"
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+	"pictor/internal/tensor"
+)
+
+// Models bundles the intelligent client's two networks: the CNN that
+// recognizes the object in each grid cell of a frame (the paper's
+// MobileNets role) and the LSTM+head that maps recognized objects to
+// the next human-like action.
+type Models struct {
+	conv *nn.Conv2D
+	pool *nn.MaxPool2
+	cnn  *nn.Sequential
+
+	lstm *nn.LSTM
+	head *nn.Dense
+}
+
+// FeatureSize is the LSTM input width: per-type object counts plus a
+// bias term. Following §3.1, the features are the objects recognized in
+// the frame; the labels are the corresponding human actions.
+const FeatureSize = int(scene.NumTypes) + 1
+
+// lstmHidden is the LSTM width.
+const lstmHidden = 14
+
+// NewModels builds untrained networks.
+func NewModels(seed int64) *Models {
+	rng := rand.New(rand.NewSource(seed))
+	conv := nn.NewConv2D(scene.CellPx, scene.CellPx, 1, 6, 3, rng)
+	pool := nn.NewMaxPool2(conv.OutH(), conv.OutW(), 6)
+	m := &Models{
+		conv: conv,
+		pool: pool,
+		lstm: nn.NewLSTM(FeatureSize, lstmHidden, rng),
+		head: nn.NewDense(lstmHidden, int(scene.NumActions), rng),
+	}
+	m.cnn = &nn.Sequential{Layers: []nn.Layer{
+		conv,
+		&nn.ReLU{},
+		pool,
+		nn.NewDense(pool.OutLen(), int(scene.NumTypes), rng),
+	}}
+	return m
+}
+
+// patch extracts cell (gx, gy)'s CellPx×CellPx pixels from a frame
+// raster into dst.
+func patch(pixels []float64, gx, gy int, dst []float64) {
+	for y := 0; y < scene.CellPx; y++ {
+		src := (gy*scene.CellPx+y)*scene.FrameW + gx*scene.CellPx
+		copy(dst[y*scene.CellPx:(y+1)*scene.CellPx], pixels[src:src+scene.CellPx])
+	}
+}
+
+// Detect classifies every grid cell of the frame raster, returning the
+// recognized object types in row-major cell order. This is the real
+// inference path — the CNN actually runs on the pixels.
+func (m *Models) Detect(pixels []float64) []scene.Type {
+	out := make([]scene.Type, scene.GridW*scene.GridH)
+	buf := make([]float64, scene.CellPx*scene.CellPx)
+	for gy := 0; gy < scene.GridH; gy++ {
+		for gx := 0; gx < scene.GridW; gx++ {
+			patch(pixels, gx, gy, buf)
+			logits := m.cnn.Forward(buf)
+			out[gy*scene.GridW+gx] = scene.Type(tensor.ArgMax(logits))
+		}
+	}
+	return out
+}
+
+// Features builds the LSTM input from the recognized objects.
+func Features(detected []scene.Type) []float64 {
+	f := make([]float64, FeatureSize)
+	for _, t := range detected {
+		if t != scene.Empty && int(t) < int(scene.NumTypes) {
+			f[t] += 1.0 / float64(len(detected)) * 4 // scaled count
+		}
+	}
+	f[FeatureSize-1] = 1 // bias input
+	return f
+}
+
+// NextActionLogits advances the LSTM one frame and returns action
+// logits. The caller samples or argmaxes.
+func (m *Models) NextActionLogits(detected []scene.Type) []float64 {
+	h := m.lstm.Step(Features(detected))
+	return m.head.Forward(h)
+}
+
+// ResetState clears the LSTM's recurrent state (new session).
+func (m *Models) ResetState() { m.lstm.Reset() }
+
+// SampleAction draws from the softmax over logits.
+func SampleAction(logits []float64, rng *sim.RNG) scene.Action {
+	p := tensor.Softmax(logits)
+	r := rng.Float64()
+	var cum float64
+	for i, v := range p {
+		cum += v
+		if r < cum {
+			return scene.Action(i)
+		}
+	}
+	return scene.Action(len(p) - 1)
+}
+
+// TrainConfig bounds training cost.
+type TrainConfig struct {
+	CNNEpochs    int
+	CNNMaxPatch  int // cap on patches per epoch (subsampled)
+	LSTMEpochs   int
+	SeqLen       int // BPTT window
+	LearningRate float64
+}
+
+// DefaultTrainConfig balances accuracy against test runtime.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{CNNEpochs: 3, CNNMaxPatch: 6000, LSTMEpochs: 14, SeqLen: 24, LearningRate: 0.01}
+}
+
+// Train fits both models from a recorded human session: the CNN on
+// (cell pixels → labeled type), the LSTM on (recognized objects →
+// recorded action) sequences, as §3.1 prescribes (the RNN's training
+// features come from the CNN's own recognitions, not the ground truth).
+func Train(rec *Recording, cfg TrainConfig, seed int64) *Models {
+	m := NewModels(seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	m.trainCNN(rec, cfg, rng)
+	m.trainLSTM(rec, cfg, rng)
+	return m
+}
+
+func (m *Models) trainCNN(rec *Recording, cfg TrainConfig, rng *rand.Rand) {
+	type example struct {
+		px    []float64
+		label int
+	}
+	var pool []example
+	buf := make([]float64, scene.CellPx*scene.CellPx)
+	for _, s := range rec.Samples {
+		for gy := 0; gy < scene.GridH; gy++ {
+			for gx := 0; gx < scene.GridW; gx++ {
+				patch(s.Pixels, gx, gy, buf)
+				px := make([]float64, len(buf))
+				copy(px, buf)
+				pool = append(pool, example{px: px, label: int(s.Cells[gy*scene.GridW+gx].T)})
+			}
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	opt := nn.NewAdam(m.cnn.Params(), cfg.LearningRate)
+	for epoch := 0; epoch < cfg.CNNEpochs; epoch++ {
+		n := cfg.CNNMaxPatch
+		if n > len(pool) {
+			n = len(pool)
+		}
+		for i := 0; i < n; i++ {
+			ex := pool[rng.Intn(len(pool))]
+			logits := m.cnn.Forward(ex.px)
+			_, g := nn.SoftmaxCrossEntropy(logits, ex.label)
+			m.cnn.Backward(g)
+			if i%4 == 3 {
+				opt.Step()
+			}
+		}
+		opt.Step()
+	}
+}
+
+func (m *Models) trainLSTM(rec *Recording, cfg TrainConfig, rng *rand.Rand) {
+	if len(rec.Samples) < 2 {
+		return
+	}
+	// Pre-compute the CNN's recognitions once (they are the features).
+	detections := make([][]scene.Type, len(rec.Samples))
+	for i, s := range rec.Samples {
+		detections[i] = m.Detect(s.Pixels)
+	}
+	params := append(m.lstm.Params(), m.head.Params()...)
+	opt := nn.NewAdam(params, cfg.LearningRate)
+	// Class weights: acting frames are rarer than idle ones; balance.
+	var acted, idle float64
+	for _, s := range rec.Samples {
+		if s.Action == scene.ActNone {
+			idle++
+		} else {
+			acted++
+		}
+	}
+	// A mild reweighting keeps rare acting frames from being drowned
+	// out early in training; heavy weights would make the client act
+	// far more often than the human it mimics.
+	actWeight := 1.0
+	if acted > 0 {
+		actWeight = math.Sqrt(idle / acted)
+		if actWeight > 5 {
+			actWeight = 5
+		}
+		if actWeight < 1 {
+			actWeight = 1
+		}
+	}
+	for epoch := 0; epoch < cfg.LSTMEpochs; epoch++ {
+		for start := 0; start+1 < len(rec.Samples); start += cfg.SeqLen {
+			end := start + cfg.SeqLen
+			if end > len(rec.Samples) {
+				end = len(rec.Samples)
+			}
+			m.lstm.Reset()
+			m.lstm.SetTraining(true)
+			var dHs [][]float64
+			for i := start; i < end; i++ {
+				h := m.lstm.Step(Features(detections[i]))
+				logits := m.head.Forward(h)
+				label := int(rec.Samples[i].Action)
+				_, g := nn.SoftmaxCrossEntropy(logits, label)
+				if rec.Samples[i].Action != scene.ActNone {
+					for j := range g {
+						g[j] *= actWeight
+					}
+				}
+				dHs = append(dHs, m.head.Backward(g))
+			}
+			m.lstm.Backward(dHs)
+			opt.Step()
+		}
+		_ = rng
+	}
+	m.lstm.SetTraining(false)
+	m.lstm.Reset()
+}
+
+// CNNAccuracy evaluates per-cell recognition accuracy on a recording.
+func (m *Models) CNNAccuracy(rec *Recording) float64 {
+	correct, total := 0, 0
+	for _, s := range rec.Samples {
+		det := m.Detect(s.Pixels)
+		for i, d := range det {
+			if d == s.Cells[i].T {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,81 @@
+// Package agent implements the input-generation side of Pictor: the
+// "real human" reference policy (the ground truth the paper compares
+// against), session recording, and the intelligent client — a CNN
+// object recognizer feeding an LSTM action generator, trained from
+// recorded human sessions exactly as §3.1 describes.
+package agent
+
+import (
+	"pictor/internal/app"
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+)
+
+// PolicyAction is the genre-appropriate reaction to the objects on
+// screen. It is near-deterministic given the objects — that is what
+// makes it learnable by the LSTM — with small stochastic tie-breaking.
+func PolicyAction(p app.Profile, cells []scene.Cell, rng *sim.RNG) scene.Action {
+	var count [scene.NumTypes]int
+	for _, c := range cells {
+		count[c.T]++
+	}
+	switch p.Genre {
+	case "Racing":
+		// Chase pickups, dodge rivals, otherwise steer along the track.
+		switch {
+		case count[scene.Item] > 0:
+			return scene.ActForward
+		case count[scene.Vehicle] > 1:
+			return scene.ActLeft
+		case count[scene.Track] > 2:
+			return scene.ActRight
+		default:
+			return scene.ActForward
+		}
+	case "Real-time Strategy":
+		// Fight what's visible, otherwise expand.
+		switch {
+		case count[scene.Enemy] > 0:
+			return scene.ActPrimary
+		case count[scene.Building] < 2:
+			return scene.ActSecondary
+		case count[scene.Item] > 0:
+			return scene.ActForward // gather
+		default:
+			return scene.ActCamera // scout
+		}
+	case "First-person Shooter":
+		switch {
+		case count[scene.Enemy] > 0:
+			return scene.ActPrimary
+		case count[scene.Item] > 0:
+			return scene.ActForward
+		default:
+			if rng.Bool(0.5) {
+				return scene.ActLeft
+			}
+			return scene.ActRight
+		}
+	case "Online Battle Arena":
+		switch {
+		case count[scene.Enemy] > count[scene.Vehicle]:
+			return scene.ActBack // retreat when outnumbered
+		case count[scene.Enemy] > 0:
+			return scene.ActPrimary
+		case count[scene.Building] > 1:
+			return scene.ActSecondary // push structures
+		default:
+			return scene.ActForward
+		}
+	default:
+		// VR titles: look around, interact with highlighted targets.
+		switch {
+		case count[scene.Target] > 0:
+			return scene.ActPrimary
+		case count[scene.Panel] > 0:
+			return scene.ActSecondary
+		default:
+			return scene.ActCamera
+		}
+	}
+}

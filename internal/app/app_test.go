@@ -1,0 +1,165 @@
+package app
+
+import (
+	"testing"
+
+	"pictor/internal/gl"
+	"pictor/internal/hw/cpu"
+	"pictor/internal/hw/gpu"
+	"pictor/internal/hw/pcie"
+	"pictor/internal/proto"
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+	"pictor/internal/trace"
+	"pictor/internal/vgl"
+	"pictor/internal/x11"
+)
+
+type rig struct {
+	k       *sim.Kernel
+	app     *App
+	display *x11.Display
+	tracer  *trace.Tracer
+	frames  []*scene.Frame
+}
+
+func newRig(prof Profile, mode Mode) *rig {
+	k := sim.NewKernel()
+	rng := sim.NewRNG(1)
+	c := cpu.New(k, 8, rng)
+	g := gpu.New(k, rng)
+	gctx := g.NewContext("app", prof.GPU)
+	gctx.SetActive(true)
+	bus := pcie.New(k, 15.75e9)
+	glctx := gl.NewContext(k, gctx, bus.NewClient("app"))
+	display := x11.NewDisplay(k, rng, prof.Width, prof.Height)
+	tracer := trace.New(k)
+	proc := c.NewProc("app", nil, prof.AppBackgroundCores)
+	ip := vgl.New(k, proc, display, tracer, vgl.DefaultOptions())
+	r := &rig{k: k, display: display, tracer: tracer}
+	r.app = New(Config{
+		Kernel: k, RNG: rng, Profile: prof, Proc: proc, GL: glctx,
+		Interposer: ip, Display: display, Tracer: tracer, Mode: mode,
+		SendFrame: func(f *scene.Frame) { r.frames = append(r.frames, f) },
+	})
+	return r
+}
+
+func TestSuiteProfilesComplete(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 6 {
+		t.Fatalf("suite size = %d, want 6", len(suite))
+	}
+	names := map[string]bool{}
+	for _, p := range suite {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		if p.ALBaseMs <= 0 || p.GPU.BaseRenderMs <= 0 || p.Codec.BaseRatio <= 1 {
+			t.Fatalf("%s profile has implausible timing", p.Name)
+		}
+		if p.Mem.BaseMissRate < 0.5 {
+			t.Fatalf("%s L3 base miss %v — 3D apps are >70%% in the paper", p.Name, p.Mem.BaseMissRate)
+		}
+		if len(p.Dynamics.Kinds) == 0 {
+			t.Fatalf("%s has no scene object kinds", p.Name)
+		}
+	}
+	for _, want := range []string{"STK", "0AD", "RE", "D2", "IM", "ITP"} {
+		if !names[want] {
+			t.Fatalf("suite missing %s", want)
+		}
+	}
+	if _, ok := ByName("STK"); !ok {
+		t.Fatal("ByName(STK) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted garbage")
+	}
+}
+
+func TestPipelineProducesFramesWithoutInputs(t *testing.T) {
+	r := newRig(RE(), ModeNormal)
+	r.app.Start()
+	r.k.RunUntil(sim.Time(2 * sim.Second))
+	r.app.Stop()
+	if len(r.frames) < 20 {
+		t.Fatalf("only %d frames in 2s of free-running pipeline", len(r.frames))
+	}
+	if r.app.Frames() <= int64(len(r.frames)) {
+		t.Fatal("frame sequencing inconsistent")
+	}
+}
+
+func TestInputsFlowIntoFrames(t *testing.T) {
+	r := newRig(RE(), ModeNormal)
+	r.app.Start()
+	r.display.Push(proto.Input{Tag: 9, Action: scene.ActPrimary})
+	r.k.RunUntil(sim.Time(sim.Second))
+	r.app.Stop()
+	found := false
+	for _, f := range r.frames {
+		for _, tag := range trace.ExtractTags(f.Pixels) {
+			if tag == 9 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("input tag never reached a frame")
+	}
+}
+
+func TestStagesRecorded(t *testing.T) {
+	r := newRig(D2(), ModeNormal)
+	r.app.Start()
+	r.k.RunUntil(sim.Time(sim.Second))
+	r.app.Stop()
+	for _, s := range []trace.Stage{trace.StageAL, trace.StageRD, trace.StageFC, trace.StageAS} {
+		if r.tracer.StageSample(s).N() == 0 {
+			t.Fatalf("stage %s never recorded", s)
+		}
+	}
+}
+
+func TestSlowMotionIdlesWithoutInput(t *testing.T) {
+	r := newRig(RE(), ModeSlowMotion)
+	r.app.Start()
+	r.k.RunUntil(sim.Time(sim.Second))
+	if len(r.frames) != 0 {
+		t.Fatalf("slow-motion rendered %d frames with no input", len(r.frames))
+	}
+	// One input → exactly one frame.
+	r.display.Push(proto.Input{Tag: 5, Action: scene.ActPrimary})
+	r.k.RunUntil(sim.Time(2 * sim.Second))
+	r.app.Stop()
+	if len(r.frames) != 1 {
+		t.Fatalf("slow-motion produced %d frames for one input, want 1", len(r.frames))
+	}
+}
+
+func TestStopHaltsPipeline(t *testing.T) {
+	r := newRig(IM(), ModeNormal)
+	r.app.Start()
+	r.k.RunUntil(sim.Time(sim.Second))
+	r.app.Stop()
+	n := len(r.frames)
+	r.k.RunUntil(sim.Time(3 * sim.Second))
+	// The in-flight pass may finish; no sustained production afterwards.
+	if len(r.frames) > n+3 {
+		t.Fatalf("pipeline kept producing after Stop: %d -> %d", n, len(r.frames))
+	}
+}
+
+func TestALComplexityCouplingDefaults(t *testing.T) {
+	prof := RE()
+	prof.ALComplexityCoupling = 0 // must default to 0.25, not zero out AL
+	r := newRig(prof, ModeNormal)
+	r.app.Start()
+	r.k.RunUntil(sim.Time(sim.Second))
+	r.app.Stop()
+	if m := r.tracer.StageSample(trace.StageAL).Mean(); m < 1 {
+		t.Fatalf("AL mean = %vms with default coupling, implausible", m)
+	}
+}

@@ -1,0 +1,61 @@
+// Package codec models the server proxy's frame compressor (TurboVNC's
+// tight/JPEG encoders): compression ratio and CPU cost both depend on
+// frame content — high-motion, high-entropy frames compress worse and
+// cost more to encode.
+package codec
+
+import (
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+)
+
+// Codec parameterizes a benchmark's compressibility.
+type Codec struct {
+	// BaseRatio is the compression ratio of a static frame.
+	BaseRatio float64
+	// MotionPenalty scales how much motion hurts the ratio:
+	// ratio = BaseRatio / (1 + MotionPenalty·motion).
+	MotionPenalty float64
+	// MsPerMB is encode CPU time per raw megabyte at motion 0.
+	MsPerMB float64
+	// Jitter is the per-frame lognormal sigma on CPU time.
+	Jitter float64
+}
+
+// Default returns a mid-range codec.
+func Default() Codec {
+	return Codec{BaseRatio: 6, MotionPenalty: 1.2, MsPerMB: 0.9, Jitter: 0.08}
+}
+
+// Ratio reports the compression ratio for the given motion level.
+func (c Codec) Ratio(motion float64) float64 {
+	if motion < 0 {
+		motion = 0
+	}
+	r := c.BaseRatio / (1 + c.MotionPenalty*motion)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Compress sizes and prices the encoding of a frame: it returns the
+// compressed byte count and the CPU time the CP stage must charge.
+func (c Codec) Compress(f *scene.Frame, rng *sim.RNG) (compressedBytes float64, cpuTime sim.Duration) {
+	raw := f.RawBytes()
+	compressedBytes = raw / c.Ratio(f.Motion)
+	ms := raw / 1e6 * c.MsPerMB * (0.75 + 0.5*f.Motion)
+	cpuTime = sim.DurationOfSeconds(ms / 1e3)
+	if rng != nil && c.Jitter > 0 {
+		cpuTime = rng.Jitter(cpuTime, c.Jitter)
+	}
+	return compressedBytes, cpuTime
+}
+
+// DecompressTime reports the client-side decode cost for a compressed
+// frame. Client machines are dedicated (uncontended), so this is a
+// fixed-rate cost.
+func DecompressTime(compressedBytes float64) sim.Duration {
+	const msPerMB = 0.35
+	return sim.DurationOfSeconds(compressedBytes / 1e6 * msPerMB / 1e3)
+}

@@ -1,0 +1,83 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+)
+
+func frame(motion float64) *scene.Frame {
+	return &scene.Frame{Width: 1920, Height: 1080, Motion: motion}
+}
+
+func TestRatioFallsWithMotion(t *testing.T) {
+	c := Default()
+	still := c.Ratio(0)
+	busy := c.Ratio(0.8)
+	if busy >= still {
+		t.Fatalf("ratio should fall with motion: %v -> %v", still, busy)
+	}
+	if got := c.Ratio(-1); got != still {
+		t.Fatalf("negative motion should clamp: %v vs %v", got, still)
+	}
+}
+
+func TestRatioNeverBelowOne(t *testing.T) {
+	c := Codec{BaseRatio: 1.2, MotionPenalty: 10}
+	if got := c.Ratio(1); got < 1 {
+		t.Fatalf("compression ratio below 1: %v", got)
+	}
+}
+
+func TestCompressSizesAndCost(t *testing.T) {
+	c := Default()
+	bytes, cost := c.Compress(frame(0.4), nil)
+	if bytes <= 0 || bytes >= frame(0.4).RawBytes() {
+		t.Fatalf("compressed size implausible: %v of %v", bytes, frame(0.4).RawBytes())
+	}
+	if cost <= 0 || cost > 100*sim.Millisecond {
+		t.Fatalf("encode cost implausible: %v", cost)
+	}
+	// Higher motion: larger output, more CPU.
+	bytes2, cost2 := c.Compress(frame(0.9), nil)
+	if bytes2 <= bytes || cost2 <= cost {
+		t.Fatalf("motion should cost more: (%v,%v) -> (%v,%v)", bytes, cost, bytes2, cost2)
+	}
+}
+
+func TestCompressJitterVaries(t *testing.T) {
+	c := Default()
+	rng := sim.NewRNG(1)
+	seen := map[sim.Duration]bool{}
+	for i := 0; i < 20; i++ {
+		_, cost := c.Compress(frame(0.4), rng)
+		seen[cost] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jittered costs collapsed to %d values", len(seen))
+	}
+}
+
+func TestDecompressTimeScales(t *testing.T) {
+	small := DecompressTime(1e5)
+	big := DecompressTime(5e6)
+	if big <= small || small < 0 {
+		t.Fatalf("decode time should scale with size: %v vs %v", small, big)
+	}
+}
+
+// Property: compressed size is positive and at most the raw size for
+// every motion level.
+func TestCompressBoundsProperty(t *testing.T) {
+	c := Default()
+	f := func(m uint8) bool {
+		fr := frame(float64(m) / 255)
+		bytes, cost := c.Compress(fr, nil)
+		return bytes > 0 && bytes <= fr.RawBytes() && cost >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

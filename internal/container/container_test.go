@@ -1,0 +1,49 @@
+package container
+
+import (
+	"testing"
+
+	"pictor/internal/sim"
+)
+
+func TestDockerDefaults(t *testing.T) {
+	d := Docker()
+	if d.IPCTaxMean <= 0 || d.GPUVirtTax <= 0 {
+		t.Fatal("Docker overheads must tax IPC and GPU")
+	}
+	if d.MemIsolation <= 0 || d.MemIsolation >= 1 {
+		t.Fatalf("MemIsolation = %v, want in (0,1)", d.MemIsolation)
+	}
+}
+
+func TestSampleIPCTaxSpread(t *testing.T) {
+	d := Docker()
+	rng := sim.NewRNG(1)
+	lo, hi := 1e9, -1e9
+	for i := 0; i < 200; i++ {
+		tax := d.SampleIPCTax(rng)
+		if tax < 0 {
+			t.Fatalf("negative tax: %v", tax)
+		}
+		if tax < lo {
+			lo = tax
+		}
+		if tax > hi {
+			hi = tax
+		}
+	}
+	if hi-lo < 0.05 {
+		t.Fatalf("tax spread too narrow: [%v, %v]", lo, hi)
+	}
+	mid := d.IPCTaxMean
+	if lo > mid || hi < mid {
+		t.Fatalf("samples [%v,%v] don't bracket the mean %v", lo, hi, mid)
+	}
+}
+
+func TestZeroOverheadsSampleZero(t *testing.T) {
+	var o Overheads
+	if got := o.SampleIPCTax(sim.NewRNG(2)); got != 0 {
+		t.Fatalf("zero overheads sampled %v", got)
+	}
+}

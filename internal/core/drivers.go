@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+
+	"pictor/internal/agent"
+	"pictor/internal/app"
+	"pictor/internal/baselines"
+	"pictor/internal/sim"
+	"pictor/internal/vnc"
+)
+
+// HumanDriver returns the reference human player factory.
+func HumanDriver() DriverFactory {
+	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		return agent.NewHuman(k, rng, prof)
+	}
+}
+
+// ICDriver returns the intelligent-client factory around trained models.
+func ICDriver(models *agent.Models) DriverFactory {
+	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		return agent.NewIntelligentClient(k, rng, prof, models)
+	}
+}
+
+// DeskBenchDriver returns the record-replay factory over a recording.
+func DeskBenchDriver(rec *agent.Recording, frameGap sim.Duration, threshold float64) DriverFactory {
+	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		d := baselines.NewDeskBench(k, rng, rec, frameGap)
+		if threshold > 0 {
+			d.Threshold = threshold
+		}
+		return d
+	}
+}
+
+// SlowMotionDriver returns an IC paced one-input-at-a-time (use with
+// app.ModeSlowMotion).
+func SlowMotionDriver(models *agent.Models) DriverFactory {
+	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		ic := agent.NewIntelligentClient(k, rng, prof, models)
+		return baselines.NewSlowMotionPacer(k, ic)
+	}
+}
+
+// RecordSession runs a single-instance, human-driven session and
+// returns the recording plus the mean client frame gap (DeskBench's
+// replay clock).
+func RecordSession(prof app.Profile, seconds float64, seed int64) (*agent.Recording, sim.Duration) {
+	cl := NewCluster(Options{Seed: seed, Cores: 8})
+	var rec *agent.Recording
+	cfg := NewInstanceConfig(prof, func(k *sim.Kernel, rng *sim.RNG, p app.Profile) vnc.Driver {
+		h := agent.NewHuman(k, rng, p)
+		rec = agent.NewRecorder(h, p.Name)
+		return h
+	})
+	cl.AddInstance(cfg)
+	cl.Run(sim.DurationOfSeconds(2), sim.DurationOfSeconds(seconds))
+	fps := cl.Instances[0].Tracer.ClientFPS()
+	gap := 33 * sim.Millisecond
+	if fps > 1 {
+		gap = sim.DurationOfSeconds(1 / fps)
+	}
+	return rec, gap
+}
+
+// trained caches per-benchmark models: recording a session and training
+// the CNN/LSTM takes real compute, and every experiment that uses the
+// IC wants the same models the paper would reuse.
+var trained sync.Map // benchmark name → *trainedEntry
+
+type trainedEntry struct {
+	once   sync.Once
+	models *agent.Models
+	rec    *agent.Recording
+	gap    sim.Duration
+}
+
+// TrainedModels records a human session for the benchmark (once per
+// process) and trains the intelligent client's models from it.
+func TrainedModels(prof app.Profile) (*agent.Models, *agent.Recording, sim.Duration) {
+	v, _ := trained.LoadOrStore(prof.Name, &trainedEntry{})
+	e := v.(*trainedEntry)
+	e.once.Do(func() {
+		rec, gap := RecordSession(prof, 45, 0xC0FFEE+int64(len(prof.Name)))
+		e.rec = rec
+		e.gap = gap
+		e.models = agent.Train(rec, agent.DefaultTrainConfig(), 77)
+	})
+	return e.models, e.rec, e.gap
+}

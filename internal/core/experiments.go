@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pictor/internal/app"
+	"pictor/internal/baselines"
+	"pictor/internal/sim"
+	"pictor/internal/stats"
+	"pictor/internal/trace"
+	"pictor/internal/vgl"
+)
+
+// ExperimentConfig bounds experiment cost. The paper runs 15-minute
+// sessions; the simulator reaches steady state much sooner, so the
+// defaults are shorter. Raise Seconds for tighter confidence.
+type ExperimentConfig struct {
+	WarmupSeconds  float64
+	Seconds        float64
+	Seed           int64
+	MaxInstances   int // Figures 10–17 sweep 1..MaxInstances
+	TrainedSeconds float64
+}
+
+// DefaultExperimentConfig is used by the benchmarks and the CLI.
+func DefaultExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{WarmupSeconds: 3, Seconds: 60, Seed: 1, MaxInstances: 4}
+}
+
+// QuickExperimentConfig is for tests.
+func QuickExperimentConfig() ExperimentConfig {
+	return ExperimentConfig{WarmupSeconds: 2, Seconds: 12, Seed: 1, MaxInstances: 2}
+}
+
+// RunCharacterization runs n identical instances of one benchmark and
+// returns per-instance results (the §5.1/§5.2 experiments).
+func RunCharacterization(prof app.Profile, n int, driver DriverFactory, cfg ExperimentConfig) []InstanceResult {
+	cl := NewCluster(Options{Seed: cfg.Seed})
+	for i := 0; i < n; i++ {
+		cl.AddInstance(NewInstanceConfig(prof, driver))
+	}
+	cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+	out := make([]InstanceResult, n)
+	for i, inst := range cl.Instances {
+		out[i] = inst.Result()
+	}
+	return out
+}
+
+// RunCharacterizationWithPower is RunCharacterization plus wall power.
+func RunCharacterizationWithPower(prof app.Profile, n int, driver DriverFactory, cfg ExperimentConfig) ([]InstanceResult, float64) {
+	cl := NewCluster(Options{Seed: cfg.Seed})
+	for i := 0; i < n; i++ {
+		cl.AddInstance(NewInstanceConfig(prof, driver))
+	}
+	cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+	out := make([]InstanceResult, n)
+	for i, inst := range cl.Instances {
+		out[i] = inst.Result()
+	}
+	return out, cl.TotalPowerWatts()
+}
+
+// RunPair co-locates two (possibly different) benchmarks (§5.3).
+func RunPair(a, b app.Profile, cfg ExperimentConfig) (ra, rb InstanceResult) {
+	cl := NewCluster(Options{Seed: cfg.Seed})
+	cl.AddInstance(NewInstanceConfig(a, HumanDriver()))
+	cl.AddInstance(NewInstanceConfig(b, HumanDriver()))
+	cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+	return cl.Instances[0].Result(), cl.Instances[1].Result()
+}
+
+// MethodologyResult is one driver's RTT outcome for Figure 6 / Table 3.
+type MethodologyResult struct {
+	Method string
+	RTT    stats.Summary
+	// ErrVsHuman is the |mean error| percentage against the human run.
+	ErrVsHuman float64
+}
+
+// RunMethodologyComparison reproduces Figure 6 and Table 3 for one
+// benchmark: RTT distributions under the human reference, Pictor's IC,
+// DeskBench replay, the Chen et al. stage-sum estimate, and
+// Slow-Motion, plus each methodology's mean-RTT error vs the human.
+func RunMethodologyComparison(prof app.Profile, cfg ExperimentConfig) []MethodologyResult {
+	models, rec, gap := TrainedModels(prof)
+
+	runWith := func(driver DriverFactory, mode app.Mode) (*Cluster, InstanceResult) {
+		cl := NewCluster(Options{Seed: cfg.Seed})
+		ic := NewInstanceConfig(prof, driver)
+		ic.Mode = mode
+		cl.AddInstance(ic)
+		cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+		return cl, cl.Instances[0].Result()
+	}
+
+	humanCl, human := runWith(HumanDriver(), app.ModeNormal)
+	_, icRes := runWith(ICDriver(models), app.ModeNormal)
+	_, dbRes := runWith(DeskBenchDriver(rec, gap, 0), app.ModeNormal)
+	_, smRes := runWith(SlowMotionDriver(models), app.ModeSlowMotion)
+
+	// Chen et al. is an estimator over the human run's stage records.
+	chen := baselines.ChenEstimate(humanCl.Instances[0].Tracer, prof, sim.NewRNG(cfg.Seed+99))
+
+	errOf := func(m float64) float64 { return stats.PercentError(m, human.RTT.Mean) }
+	return []MethodologyResult{
+		{Method: "Human", RTT: human.RTT, ErrVsHuman: 0},
+		{Method: "Pictor-IC", RTT: icRes.RTT, ErrVsHuman: errOf(icRes.RTT.Mean)},
+		{Method: "DeskBench", RTT: dbRes.RTT, ErrVsHuman: errOf(dbRes.RTT.Mean)},
+		{Method: "Chen", RTT: chen.Summarize(), ErrVsHuman: errOf(chen.Mean())},
+		{Method: "SlowMotion", RTT: smRes.RTT, ErrVsHuman: errOf(smRes.RTT.Mean)},
+	}
+}
+
+// OverheadResult is the §4 framework-overhead experiment for one
+// benchmark.
+type OverheadResult struct {
+	Benchmark     string
+	FPSNoTrace    float64
+	FPSTraced     float64
+	FPSTracedSB   float64 // single-buffered GPU queries
+	OverheadPct   float64 // traced vs untraced server-FPS loss
+	OverheadSBPct float64
+}
+
+// RunOverhead measures the analysis framework's cost: native TurboVNC
+// (tracing off) vs traced, and traced with single-buffered GPU queries.
+func RunOverhead(prof app.Profile, cfg ExperimentConfig) OverheadResult {
+	models, _, _ := TrainedModels(prof)
+	run := func(tracing, doubleBuf bool) float64 {
+		cl := NewCluster(Options{Seed: cfg.Seed})
+		icfg := NewInstanceConfig(prof, ICDriver(models))
+		icfg.Tracing = tracing
+		icfg.Interposer.QueryDoubleBuffer = doubleBuf
+		cl.AddInstance(icfg)
+		cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+		return cl.Instances[0].Tracer.ServerFPS()
+	}
+	native := run(false, true)
+	traced := run(true, true)
+	single := run(true, false)
+	overhead := func(fps float64) float64 {
+		if native == 0 {
+			return 0
+		}
+		return (native - fps) / native * 100
+	}
+	return OverheadResult{
+		Benchmark:     prof.Name,
+		FPSNoTrace:    native,
+		FPSTraced:     traced,
+		FPSTracedSB:   single,
+		OverheadPct:   overhead(traced),
+		OverheadSBPct: overhead(single),
+	}
+}
+
+// OptimizationResult is the Figure 22 outcome for one benchmark.
+type OptimizationResult struct {
+	Benchmark       string
+	BaseServerFPS   float64
+	OptServerFPS    float64
+	BaseClientFPS   float64
+	OptClientFPS    float64
+	BaseRTT         float64
+	OptRTT          float64
+	ServerFPSGain   float64 // %
+	ClientFPSGain   float64 // %
+	RTTReduction    float64 // %, positive = faster
+	BaseFCMs        float64
+	OptFCMs         float64
+}
+
+// RunOptimization reproduces Figure 22 for one benchmark: baseline vs
+// both §6 optimizations.
+func RunOptimization(prof app.Profile, cfg ExperimentConfig) OptimizationResult {
+	run := func(opts vgl.Options) InstanceResult {
+		cl := NewCluster(Options{Seed: cfg.Seed})
+		icfg := NewInstanceConfig(prof, HumanDriver())
+		icfg.Interposer = opts
+		cl.AddInstance(icfg)
+		cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+		return cl.Instances[0].Result()
+	}
+	base := run(vgl.DefaultOptions())
+	opt := run(vgl.Optimized())
+	return OptimizationResult{
+		Benchmark:     prof.Name,
+		BaseServerFPS: base.ServerFPS, OptServerFPS: opt.ServerFPS,
+		BaseClientFPS: base.ClientFPS, OptClientFPS: opt.ClientFPS,
+		BaseRTT: base.RTT.Mean, OptRTT: opt.RTT.Mean,
+		ServerFPSGain: stats.PercentChange(opt.ServerFPS, base.ServerFPS),
+		ClientFPSGain: stats.PercentChange(opt.ClientFPS, base.ClientFPS),
+		RTTReduction:  -stats.PercentChange(opt.RTT.Mean, base.RTT.Mean),
+		BaseFCMs:      base.Stages[trace.StageFC].Mean,
+		OptFCMs:       opt.Stages[trace.StageFC].Mean,
+	}
+}
+
+// ContainerResult is the Figure 20 outcome for one benchmark.
+type ContainerResult struct {
+	Benchmark      string
+	BareServerFPS  float64
+	ContServerFPS  float64
+	BareRTT        float64
+	ContRTT        float64
+	FPSOverheadPct float64 // positive = container slower
+	RTTOverheadPct float64
+	RDOverheadPct  float64
+}
+
+// RunContainerOverhead reproduces Figure 20 for one benchmark.
+func RunContainerOverhead(prof app.Profile, cfg ExperimentConfig) ContainerResult {
+	run := func(containerized bool) InstanceResult {
+		cl := NewCluster(Options{Seed: cfg.Seed})
+		icfg := NewInstanceConfig(prof, HumanDriver())
+		icfg.Containerized = containerized
+		icfg.Container = dockerOverheads()
+		cl.AddInstance(icfg)
+		cl.Run(sim.DurationOfSeconds(cfg.WarmupSeconds), sim.DurationOfSeconds(cfg.Seconds))
+		return cl.Instances[0].Result()
+	}
+	bare := run(false)
+	cont := run(true)
+	return ContainerResult{
+		Benchmark:     prof.Name,
+		BareServerFPS: bare.ServerFPS, ContServerFPS: cont.ServerFPS,
+		BareRTT: bare.RTT.Mean, ContRTT: cont.RTT.Mean,
+		FPSOverheadPct: -stats.PercentChange(cont.ServerFPS, bare.ServerFPS),
+		RTTOverheadPct: stats.PercentChange(cont.RTT.Mean, bare.RTT.Mean),
+		RDOverheadPct:  stats.PercentChange(cont.Stages[trace.StageRD].Mean, bare.Stages[trace.StageRD].Mean),
+	}
+}
+
+// FormatTable renders rows with a header as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s  ", width[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// SortedPairNames lists the 15 unordered benchmark pairs of Figure 18.
+func SortedPairNames() [][2]string {
+	suite := app.Suite()
+	var out [][2]string
+	for i := 0; i < len(suite); i++ {
+		for j := i + 1; j < len(suite); j++ {
+			out = append(out, [2]string{suite[i].Name, suite[j].Name})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}

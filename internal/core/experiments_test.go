@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pictor/internal/app"
+)
+
+func TestRunPairProducesBothResults(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	ra, rb := RunPair(app.STK(), app.ZeroAD(), cfg)
+	if ra.Benchmark != "STK" || rb.Benchmark != "0AD" {
+		t.Fatalf("pair results mislabeled: %s, %s", ra.Benchmark, rb.Benchmark)
+	}
+	if ra.ServerFPS <= 0 || rb.ServerFPS <= 0 {
+		t.Fatal("pair produced no frames")
+	}
+}
+
+func TestRunOptimizationShape(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	r := RunOptimization(app.RE(), cfg)
+	if r.ServerFPSGain <= 0 {
+		t.Fatalf("optimizations lost server FPS: %+.1f%%", r.ServerFPSGain)
+	}
+	if r.OptFCMs >= r.BaseFCMs {
+		t.Fatalf("FC did not shrink: %.1f -> %.1f ms", r.BaseFCMs, r.OptFCMs)
+	}
+	if r.RTTReduction <= 0 {
+		t.Fatalf("RTT did not improve: %+.1f%%", -r.RTTReduction)
+	}
+}
+
+func TestRunContainerOverheadBounded(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	r := RunContainerOverhead(app.D2(), cfg)
+	if r.RTTOverheadPct > 30 || r.RTTOverheadPct < -30 {
+		t.Fatalf("container RTT overhead implausible: %+.1f%%", r.RTTOverheadPct)
+	}
+	if r.RDOverheadPct < -5 {
+		t.Fatalf("GPU virtualization should not speed rendering: %+.1f%%", r.RDOverheadPct)
+	}
+}
+
+func TestRunCharacterizationCounts(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	rs := RunCharacterization(app.IM(), 2, HumanDriver(), cfg)
+	if len(rs) != 2 {
+		t.Fatalf("got %d results for 2 instances", len(rs))
+	}
+	_, watts := RunCharacterizationWithPower(app.IM(), 2, HumanDriver(), cfg)
+	if watts <= 0 {
+		t.Fatal("no power measured")
+	}
+}
+
+func TestSortedPairNames(t *testing.T) {
+	pairs := SortedPairNames()
+	if len(pairs) != 15 {
+		t.Fatalf("got %d pairs, want 15 (6 choose 2)", len(pairs))
+	}
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatalf("self-pair %v", p)
+		}
+		key := p[0] + "+" + p[1]
+		if seen[key] {
+			t.Fatalf("duplicate pair %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestFeatureMatrixShape(t *testing.T) {
+	m := FeatureMatrix()
+	if !strings.Contains(m, "Pictor") || !strings.Contains(m, "GPU perf. measurement") {
+		t.Fatal("feature matrix missing expected rows/columns")
+	}
+	lines := strings.Count(m, "\n")
+	if lines != 9 { // header + 8 feature rows
+		t.Fatalf("feature matrix has %d lines, want 9", lines)
+	}
+}
+
+func TestFormatTableAligns(t *testing.T) {
+	out := FormatTable([]string{"a", "long-header"}, [][]string{{"xxxx", "y"}})
+	linesOut := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(linesOut) != 2 {
+		t.Fatalf("got %d lines", len(linesOut))
+	}
+	if len(linesOut[0]) != len(linesOut[1]) {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestOverheadExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := QuickExperimentConfig()
+	r := RunOverhead(app.STK(), cfg)
+	if r.FPSNoTrace <= 0 || r.FPSTraced <= 0 {
+		t.Fatal("overhead runs produced no frames")
+	}
+	// The framework must be cheap: within a few percent of native.
+	if r.OverheadPct > 12 {
+		t.Fatalf("analysis framework costs %.1f%% FPS", r.OverheadPct)
+	}
+}
+
+func TestMethodologyComparisonSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := QuickExperimentConfig()
+	cfg.Seconds = 20
+	rs := RunMethodologyComparison(app.RE(), cfg)
+	if len(rs) != 5 {
+		t.Fatalf("got %d methodology rows, want 5", len(rs))
+	}
+	byName := map[string]MethodologyResult{}
+	for _, r := range rs {
+		byName[r.Method] = r
+	}
+	if byName["Human"].RTT.N == 0 || byName["Pictor-IC"].RTT.N == 0 {
+		t.Fatal("human or IC run produced no RTTs")
+	}
+	// The intelligent client must track the human far better than the
+	// stage-sum and serialization methodologies (Table 3's shape).
+	if byName["Pictor-IC"].ErrVsHuman > 15 {
+		t.Fatalf("IC error %.1f%% — not mimicking", byName["Pictor-IC"].ErrVsHuman)
+	}
+	if byName["Chen"].ErrVsHuman < byName["Pictor-IC"].ErrVsHuman {
+		t.Fatal("Chen estimate beat the IC — Table 3 shape lost")
+	}
+	if byName["SlowMotion"].ErrVsHuman < 10 {
+		t.Fatalf("Slow-Motion error %.1f%% — serialization effect lost", byName["SlowMotion"].ErrVsHuman)
+	}
+	// Both flawed methodologies underestimate (the paper's direction).
+	if byName["Chen"].RTT.Mean >= byName["Human"].RTT.Mean {
+		t.Fatal("Chen should underestimate RTT")
+	}
+	if byName["SlowMotion"].RTT.Mean >= byName["Human"].RTT.Mean {
+		t.Fatal("Slow-Motion should underestimate RTT")
+	}
+}

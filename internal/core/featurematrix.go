@@ -1,0 +1,20 @@
+package core
+
+// FeatureMatrix renders the paper's Table 4: the qualitative feature
+// comparison between Pictor and prior VDI / cloud-gaming measurement
+// work.
+func FeatureMatrix() string {
+	header := []string{"Feature", "VNCPlay", "Chen", "SlowMotion", "LoginVSI", "DeskBench", "VDBench", "Dusi", "Pictor"}
+	y, n := "yes", "-"
+	rows := [][]string{
+		{"Random UI objects tolerant", n, y, n, n, n, n, n, y},
+		{"Varying net latency tolerant", y, y, y, n, y, n, n, y},
+		{"User-input tracking", n, n, y, n, n, n, n, y},
+		{"CPU perf. measurement", n, y, n, y, y, y, n, y},
+		{"Network perf. measurement", y, y, y, n, y, y, y, y},
+		{"GPU perf. measurement", n, n, n, n, n, n, n, y},
+		{"PCIe frame-copy measurement", n, n, n, n, n, n, n, y},
+		{"Unaltered 3D app behaviour", y, y, n, y, n, y, y, y},
+	}
+	return FormatTable(header, rows)
+}

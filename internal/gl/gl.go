@@ -1,0 +1,148 @@
+// Package gl models the OpenGL surface the cloud rendering stack
+// drives: buffer swaps that submit GPU work (hook5), synchronous and
+// asynchronous (PBO-style) pixel readback over PCIe (hook6 — the FC
+// stage), and GPU time queries with the single- vs double-buffered
+// behaviour whose overhead the paper measures.
+package gl
+
+import (
+	"pictor/internal/hw/gpu"
+	"pictor/internal/hw/pcie"
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+)
+
+// Context is one application's GL context.
+type Context struct {
+	k    *sim.Kernel
+	gctx *gpu.Context
+	bus  *pcie.Client
+}
+
+// NewContext binds a GL context to a GPU rendering context and a PCIe
+// traffic account.
+func NewContext(k *sim.Kernel, gctx *gpu.Context, bus *pcie.Client) *Context {
+	return &Context{k: k, gctx: gctx, bus: bus}
+}
+
+// RenderHandle tracks one in-flight frame through render and readback.
+type RenderHandle struct {
+	ctx   *Context
+	Frame *scene.Frame
+
+	submitted    sim.Time
+	finished     sim.Time
+	renderDone   bool
+	renderWaiter []func()
+
+	readStarted bool
+	readDone    bool
+	readWaiter  []func()
+}
+
+// SwapBuffers submits the frame for rendering (hook5) and returns a
+// handle. Upload traffic for the frame's changed scene data is charged
+// to the CPU→GPU PCIe direction (uploadBytes; STK's drastically changing
+// frames make this large).
+func (c *Context) SwapBuffers(f *scene.Frame, uploadBytes float64) *RenderHandle {
+	h := &RenderHandle{ctx: c, Frame: f, submitted: c.k.Now()}
+	if uploadBytes > 0 {
+		c.bus.Transfer(pcie.ToGPU, uploadBytes, func() {})
+	}
+	c.gctx.Render(f.Complexity, func() {
+		h.renderDone = true
+		h.finished = c.k.Now()
+		for _, fn := range h.renderWaiter {
+			c.k.After(0, fn)
+		}
+		h.renderWaiter = nil
+	})
+	return h
+}
+
+// OnRenderDone invokes fn when the GPU finishes the frame (immediately,
+// as a fresh event, if already done).
+func (h *RenderHandle) OnRenderDone(fn func()) {
+	if h.renderDone {
+		h.ctx.k.After(0, fn)
+		return
+	}
+	h.renderWaiter = append(h.renderWaiter, fn)
+}
+
+// RenderDone reports whether the GPU has finished the frame.
+func (h *RenderHandle) RenderDone() bool { return h.renderDone }
+
+// RenderLatency reports submit→finish time (the interval a hook5→hook6
+// GPU time query measures). Zero until the render completes.
+func (h *RenderHandle) RenderLatency() sim.Duration {
+	if !h.renderDone {
+		return 0
+	}
+	return h.finished.Sub(h.submitted)
+}
+
+// ReadPixels performs a synchronous glReadPixels: wait for the render,
+// DMA the framebuffer over PCIe (GPU→CPU), then done. This is the
+// baseline (halting) frame-copy path.
+func (h *RenderHandle) ReadPixels(done func()) {
+	h.OnRenderDone(func() {
+		h.ctx.bus.Transfer(pcie.FromGPU, h.Frame.RawBytes(), func() {
+			h.readDone = true
+			done()
+		})
+	})
+}
+
+// StartAsyncRead begins a PBO-style asynchronous readback: the DMA is
+// queued behind the render and proceeds without CPU involvement. This
+// is the first half of §6's two-step copy optimization (FCStart).
+func (h *RenderHandle) StartAsyncRead() {
+	if h.readStarted {
+		return
+	}
+	h.readStarted = true
+	h.OnRenderDone(func() {
+		h.ctx.bus.Transfer(pcie.FromGPU, h.Frame.RawBytes(), func() {
+			h.readDone = true
+			for _, fn := range h.readWaiter {
+				h.ctx.k.After(0, fn)
+			}
+			h.readWaiter = nil
+		})
+	})
+}
+
+// FinishAsyncRead waits (usually not at all) for the asynchronous
+// readback to land, then calls done — the second half (FCEnd) of the
+// two-step copy. Calling it without StartAsyncRead starts the read.
+func (h *RenderHandle) FinishAsyncRead(done func()) {
+	if !h.readStarted {
+		h.StartAsyncRead()
+	}
+	if h.readDone {
+		h.ctx.k.After(0, done)
+		return
+	}
+	h.readWaiter = append(h.readWaiter, done)
+}
+
+// ReadDone reports whether the framebuffer has landed in host memory.
+func (h *RenderHandle) ReadDone() bool { return h.readDone }
+
+// QueryStall reports the CPU stall incurred by reading this frame's GPU
+// time query. With double buffering the application reads the previous
+// frame's (ready) result and pays only a sync cost; single-buffered it
+// blocks until this frame's render completes — the behaviour behind the
+// paper's up-to-10% overhead without double buffers.
+func (h *RenderHandle) QueryStall(doubleBuffered bool) sim.Duration {
+	if doubleBuffered {
+		return 60 * sim.Microsecond
+	}
+	if h.renderDone {
+		return 250 * sim.Microsecond
+	}
+	// Remaining render time must be waited out. Estimate with the
+	// frame's nominal cost; the caller charges this as wall stall.
+	return sim.DurationOfSeconds(h.ctx.gctx.Profile().BaseRenderMs * 0.6 / 1e3)
+}

@@ -1,0 +1,147 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testProfile() Profile {
+	return Profile{
+		BaseMissRate:  0.72,
+		Intensity:     0.8,
+		Sensitivity:   0.6,
+		AccessesPerMs: 1000,
+		FootprintMB:   1200,
+	}
+}
+
+func TestSoloClientSeesBaseBehaviour(t *testing.T) {
+	s := NewSystem()
+	c := s.Register("solo", testProfile())
+	c.SetActive(true)
+	if got := c.MissRate(); got != 0.72 {
+		t.Fatalf("solo miss rate = %v, want base 0.72", got)
+	}
+	if got := c.CPIFactor(); got != 1 {
+		t.Fatalf("solo CPI factor = %v, want 1", got)
+	}
+}
+
+func TestContentionRaisesMissRateAndCPI(t *testing.T) {
+	s := NewSystem()
+	a := s.Register("a", testProfile())
+	b := s.Register("b", testProfile())
+	a.SetActive(true)
+	soloMiss := a.MissRate()
+	b.SetActive(true)
+	dualMiss := a.MissRate()
+	if dualMiss <= soloMiss {
+		t.Fatalf("miss rate did not grow under contention: %v -> %v", soloMiss, dualMiss)
+	}
+	if cpi := a.CPIFactor(); cpi <= 1 {
+		t.Fatalf("CPI factor under contention = %v, want > 1", cpi)
+	}
+}
+
+func TestMissRateMonotoneInCoRunners(t *testing.T) {
+	s := NewSystem()
+	target := s.Register("target", testProfile())
+	target.SetActive(true)
+	var others []*Client
+	prev := target.MissRate()
+	for i := 0; i < 3; i++ {
+		o := s.Register("other", testProfile())
+		o.SetActive(true)
+		others = append(others, o)
+		cur := target.MissRate()
+		if cur <= prev {
+			t.Fatalf("miss rate not monotone: %v after %d co-runners", cur, i+1)
+		}
+		prev = cur
+	}
+	// Deactivating co-runners restores the solo rate.
+	for _, o := range others {
+		o.SetActive(false)
+	}
+	if got := target.MissRate(); got != 0.72 {
+		t.Fatalf("miss rate after co-runners left = %v, want 0.72", got)
+	}
+}
+
+func TestMissRateSaturates(t *testing.T) {
+	s := NewSystem()
+	target := s.Register("target", testProfile())
+	target.SetActive(true)
+	for i := 0; i < 100; i++ {
+		o := s.Register("noise", testProfile())
+		o.SetActive(true)
+	}
+	if got := target.MissRate(); got > 0.985 {
+		t.Fatalf("miss rate exceeded cap: %v", got)
+	}
+}
+
+func TestAccountingObservedMissRate(t *testing.T) {
+	s := NewSystem()
+	c := s.Register("c", testProfile())
+	c.SetActive(true)
+	c.Account(10) // 10 ms of CPU time
+	acc, miss := c.Counters()
+	if acc != 10000 {
+		t.Fatalf("accesses = %v, want 10000", acc)
+	}
+	if miss != 7200 {
+		t.Fatalf("misses = %v, want 7200", miss)
+	}
+	if got := c.ObservedMissRate(); got != 0.72 {
+		t.Fatalf("observed miss rate = %v, want 0.72", got)
+	}
+}
+
+func TestObservedMissRateWithoutTraffic(t *testing.T) {
+	s := NewSystem()
+	c := s.Register("c", testProfile())
+	c.SetActive(true)
+	if got := c.ObservedMissRate(); got != 0.72 {
+		t.Fatalf("observed (no traffic) = %v, want instantaneous 0.72", got)
+	}
+}
+
+func TestActiveClients(t *testing.T) {
+	s := NewSystem()
+	a := s.Register("a", testProfile())
+	b := s.Register("b", testProfile())
+	if s.ActiveClients() != 0 {
+		t.Fatal("fresh system should have 0 active clients")
+	}
+	a.SetActive(true)
+	b.SetActive(true)
+	if s.ActiveClients() != 2 {
+		t.Fatalf("ActiveClients = %d, want 2", s.ActiveClients())
+	}
+	b.SetActive(false)
+	if s.ActiveClients() != 1 {
+		t.Fatalf("ActiveClients = %d, want 1", s.ActiveClients())
+	}
+}
+
+// Property: CPI factor is always >= 1 and miss rate stays in (0, 1).
+func TestBoundsProperty(t *testing.T) {
+	f := func(nOthers uint8, intensity, sensitivity uint8) bool {
+		s := NewSystem()
+		p := testProfile()
+		p.Intensity = float64(intensity%100) / 100
+		p.Sensitivity = float64(sensitivity%100) / 100
+		c := s.Register("c", p)
+		c.SetActive(true)
+		for i := 0; i < int(nOthers%16); i++ {
+			o := s.Register("o", p)
+			o.SetActive(true)
+		}
+		mr := c.MissRate()
+		return c.CPIFactor() >= 1 && mr > 0 && mr < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

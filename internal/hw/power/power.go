@@ -1,0 +1,56 @@
+// Package power models server power draw the way the paper measures it
+// (a wall meter): a large idle floor plus dynamic power proportional to
+// CPU and GPU activity. Because the idle floor dominates, consolidating
+// instances onto one server cuts per-instance power sharply — the
+// Figure 17 result (−33%, −50%, −61% for 2–4 instances).
+package power
+
+// Model converts utilization into watts.
+type Model struct {
+	// IdleWatts is the wall draw of the powered-on but idle server.
+	IdleWatts float64
+	// CPUWattsPerCore is dynamic power per fully-busy core.
+	CPUWattsPerCore float64
+	// GPUMaxWatts is dynamic power at 100% GPU utilization.
+	GPUMaxWatts float64
+	// PerInstanceWatts is fixed overhead per running instance (extra
+	// NIC activity, DRAM, fans).
+	PerInstanceWatts float64
+}
+
+// Default returns the calibration used for the Figure 17 reproduction:
+// idle-dominated, matching a workstation-class server with a GTX1080Ti.
+func Default() Model {
+	return Model{
+		IdleWatts:        120,
+		CPUWattsPerCore:  6,
+		GPUMaxWatts:      160,
+		PerInstanceWatts: 6,
+	}
+}
+
+// TotalWatts reports wall power for the given activity. cpuUtilPercent
+// is top-style (100 = one core); gpuUtilPercent is 0–100 for the device.
+func (m Model) TotalWatts(cpuUtilPercent, gpuUtilPercent float64, instances int) float64 {
+	if cpuUtilPercent < 0 {
+		cpuUtilPercent = 0
+	}
+	if gpuUtilPercent < 0 {
+		gpuUtilPercent = 0
+	}
+	if gpuUtilPercent > 100 {
+		gpuUtilPercent = 100
+	}
+	return m.IdleWatts +
+		m.CPUWattsPerCore*cpuUtilPercent/100 +
+		m.GPUMaxWatts*gpuUtilPercent/100 +
+		m.PerInstanceWatts*float64(instances)
+}
+
+// PerInstanceWattsAt reports watts per instance at the given activity.
+func (m Model) PerInstanceWattsAt(cpuUtilPercent, gpuUtilPercent float64, instances int) float64 {
+	if instances <= 0 {
+		return 0
+	}
+	return m.TotalWatts(cpuUtilPercent, gpuUtilPercent, instances) / float64(instances)
+}

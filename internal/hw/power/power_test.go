@@ -1,0 +1,61 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdleFloor(t *testing.T) {
+	m := Default()
+	if got := m.TotalWatts(0, 0, 0); got != m.IdleWatts {
+		t.Fatalf("idle power = %v, want %v", got, m.IdleWatts)
+	}
+}
+
+func TestActivityAddsPower(t *testing.T) {
+	m := Default()
+	idle := m.TotalWatts(0, 0, 0)
+	busy := m.TotalWatts(400, 50, 1)
+	if busy <= idle {
+		t.Fatalf("busy power %v not above idle %v", busy, idle)
+	}
+	want := m.IdleWatts + 4*m.CPUWattsPerCore + 0.5*m.GPUMaxWatts + m.PerInstanceWatts
+	if math.Abs(busy-want) > 1e-9 {
+		t.Fatalf("busy power = %v, want %v", busy, want)
+	}
+}
+
+func TestGPUUtilClamped(t *testing.T) {
+	m := Default()
+	if m.TotalWatts(0, 150, 0) != m.TotalWatts(0, 100, 0) {
+		t.Fatal("GPU util above 100% should clamp")
+	}
+	if m.TotalWatts(-10, -10, 0) != m.IdleWatts {
+		t.Fatal("negative utils should clamp to idle")
+	}
+}
+
+func TestPerInstanceEconomics(t *testing.T) {
+	// The paper's Figure 17: per-instance power falls steeply with
+	// consolidation because the idle floor is shared. Check the shape:
+	// going 1→2 instances with less-than-double activity must cut
+	// per-instance power by ≥ 25%.
+	m := Default()
+	one := m.PerInstanceWattsAt(450, 35, 1)
+	two := m.PerInstanceWattsAt(700, 55, 2)
+	reduction := (one - two) / one * 100
+	if reduction < 25 {
+		t.Fatalf("2-instance per-instance reduction = %.1f%%, want ≥ 25%%", reduction)
+	}
+	four := m.PerInstanceWattsAt(900, 80, 4)
+	reduction4 := (one - four) / one * 100
+	if reduction4 <= reduction {
+		t.Fatalf("4-instance reduction (%.1f%%) should beat 2-instance (%.1f%%)", reduction4, reduction)
+	}
+}
+
+func TestPerInstanceZeroInstances(t *testing.T) {
+	if got := Default().PerInstanceWattsAt(100, 10, 0); got != 0 {
+		t.Fatalf("per-instance power with 0 instances = %v, want 0", got)
+	}
+}

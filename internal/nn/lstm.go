@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer Long Short-Term Memory network (Hochreiter &
+// Schmidhuber 1997 — the paper's action-generation model), trained with
+// backpropagation through time.
+type LSTM struct {
+	InSize, Hidden int
+	// Gate weights, stacked [input; forget; cell; output] × (in+hidden+1).
+	w *Param
+
+	// Inference state.
+	h, c []float64
+
+	// BPTT caches (one entry per timestep of the current sequence).
+	xs, hs, cs          [][]float64
+	gi, gf, gg, go_     [][]float64
+	training            bool
+}
+
+// NewLSTM creates an LSTM with forget-gate bias initialized positive
+// (standard trick for gradient flow early in training).
+func NewLSTM(inSize, hidden int, rng *rand.Rand) *LSTM {
+	cols := inSize + hidden + 1 // +1: bias column
+	l := &LSTM{InSize: inSize, Hidden: hidden, w: newParam(4 * hidden * cols)}
+	l.w.initUniform(rng, inSize+hidden)
+	for j := 0; j < hidden; j++ {
+		l.w.W[l.widx(1, j, cols-1)] = 1.0 // forget bias
+	}
+	l.Reset()
+	return l
+}
+
+// widx indexes weight (gate g ∈ 0..3, unit j, column k).
+func (l *LSTM) widx(g, j, k int) int {
+	cols := l.InSize + l.Hidden + 1
+	return (g*l.Hidden+j)*cols + k
+}
+
+// Reset clears the recurrent state and BPTT caches.
+func (l *LSTM) Reset() {
+	l.h = make([]float64, l.Hidden)
+	l.c = make([]float64, l.Hidden)
+	l.xs, l.hs, l.cs = nil, nil, nil
+	l.gi, l.gf, l.gg, l.go_ = nil, nil, nil, nil
+}
+
+// SetTraining switches BPTT caching on or off.
+func (l *LSTM) SetTraining(t bool) { l.training = t }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Step consumes one input vector and returns the new hidden state.
+func (l *LSTM) Step(x []float64) []float64 {
+	if len(x) != l.InSize {
+		panic("nn: LSTM input size mismatch")
+	}
+	cols := l.InSize + l.Hidden + 1
+	prevH := append([]float64(nil), l.h...)
+	prevC := append([]float64(nil), l.c...)
+
+	zi := make([]float64, l.Hidden)
+	zf := make([]float64, l.Hidden)
+	zg := make([]float64, l.Hidden)
+	zo := make([]float64, l.Hidden)
+	for j := 0; j < l.Hidden; j++ {
+		var si, sf, sg, so float64
+		for k := 0; k < l.InSize; k++ {
+			xv := x[k]
+			if xv == 0 {
+				continue
+			}
+			si += l.w.W[l.widx(0, j, k)] * xv
+			sf += l.w.W[l.widx(1, j, k)] * xv
+			sg += l.w.W[l.widx(2, j, k)] * xv
+			so += l.w.W[l.widx(3, j, k)] * xv
+		}
+		for k := 0; k < l.Hidden; k++ {
+			hv := prevH[k]
+			if hv == 0 {
+				continue
+			}
+			si += l.w.W[l.widx(0, j, l.InSize+k)] * hv
+			sf += l.w.W[l.widx(1, j, l.InSize+k)] * hv
+			sg += l.w.W[l.widx(2, j, l.InSize+k)] * hv
+			so += l.w.W[l.widx(3, j, l.InSize+k)] * hv
+		}
+		si += l.w.W[l.widx(0, j, cols-1)]
+		sf += l.w.W[l.widx(1, j, cols-1)]
+		sg += l.w.W[l.widx(2, j, cols-1)]
+		so += l.w.W[l.widx(3, j, cols-1)]
+		zi[j] = sigmoid(si)
+		zf[j] = sigmoid(sf)
+		zg[j] = math.Tanh(sg)
+		zo[j] = sigmoid(so)
+		l.c[j] = zf[j]*prevC[j] + zi[j]*zg[j]
+		l.h[j] = zo[j] * math.Tanh(l.c[j])
+	}
+
+	if l.training {
+		l.xs = append(l.xs, append([]float64(nil), x...))
+		l.hs = append(l.hs, prevH)
+		l.cs = append(l.cs, prevC)
+		l.gi = append(l.gi, zi)
+		l.gf = append(l.gf, zf)
+		l.gg = append(l.gg, zg)
+		l.go_ = append(l.go_, zo)
+	}
+	return append([]float64(nil), l.h...)
+}
+
+// Backward runs BPTT over the cached sequence. dHs[t] is dLoss/dh at
+// step t (same length as the number of Steps taken since Reset).
+// Gradients accumulate into the weight parameter.
+func (l *LSTM) Backward(dHs [][]float64) {
+	T := len(l.xs)
+	if len(dHs) != T {
+		panic("nn: BPTT gradient count mismatch")
+	}
+	cols := l.InSize + l.Hidden + 1
+	dhNext := make([]float64, l.Hidden)
+	dcNext := make([]float64, l.Hidden)
+	for t := T - 1; t >= 0; t-- {
+		dh := make([]float64, l.Hidden)
+		copy(dh, dHs[t])
+		for j := range dh {
+			dh[j] += dhNext[j]
+		}
+		// Recompute c_t from the caches.
+		ct := make([]float64, l.Hidden)
+		for j := 0; j < l.Hidden; j++ {
+			ct[j] = l.gf[t][j]*l.cs[t][j] + l.gi[t][j]*l.gg[t][j]
+		}
+		dhPrev := make([]float64, l.Hidden)
+		dcPrev := make([]float64, l.Hidden)
+		for j := 0; j < l.Hidden; j++ {
+			tanhC := math.Tanh(ct[j])
+			do := dh[j] * tanhC
+			dc := dh[j]*l.go_[t][j]*(1-tanhC*tanhC) + dcNext[j]
+			di := dc * l.gg[t][j]
+			dg := dc * l.gi[t][j]
+			df := dc * l.cs[t][j]
+			dcPrev[j] = dc * l.gf[t][j]
+			// Pre-activation gradients.
+			pi := di * l.gi[t][j] * (1 - l.gi[t][j])
+			pf := df * l.gf[t][j] * (1 - l.gf[t][j])
+			pg := dg * (1 - l.gg[t][j]*l.gg[t][j])
+			po := do * l.go_[t][j] * (1 - l.go_[t][j])
+			for k := 0; k < l.InSize; k++ {
+				xv := l.xs[t][k]
+				l.w.G[l.widx(0, j, k)] += pi * xv
+				l.w.G[l.widx(1, j, k)] += pf * xv
+				l.w.G[l.widx(2, j, k)] += pg * xv
+				l.w.G[l.widx(3, j, k)] += po * xv
+			}
+			for k := 0; k < l.Hidden; k++ {
+				hv := l.hs[t][k]
+				l.w.G[l.widx(0, j, l.InSize+k)] += pi * hv
+				l.w.G[l.widx(1, j, l.InSize+k)] += pf * hv
+				l.w.G[l.widx(2, j, l.InSize+k)] += pg * hv
+				l.w.G[l.widx(3, j, l.InSize+k)] += po * hv
+				dhPrev[k] += pi*l.w.W[l.widx(0, j, l.InSize+k)] +
+					pf*l.w.W[l.widx(1, j, l.InSize+k)] +
+					pg*l.w.W[l.widx(2, j, l.InSize+k)] +
+					po*l.w.W[l.widx(3, j, l.InSize+k)]
+			}
+			l.w.G[l.widx(0, j, cols-1)] += pi
+			l.w.G[l.widx(1, j, cols-1)] += pf
+			l.w.G[l.widx(2, j, cols-1)] += pg
+			l.w.G[l.widx(3, j, cols-1)] += po
+			// Gradient into x_t is not needed by Pictor (features are
+			// not learned upstream of the LSTM), so it is not computed.
+			_ = pi
+		}
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+}
+
+// Params implements the optimizer interface.
+func (l *LSTM) Params() []*Param { return []*Param{l.w} }

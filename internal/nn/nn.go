@@ -1,0 +1,320 @@
+// Package nn is a from-scratch neural-network library (pure Go, stdlib
+// only) providing the layers Pictor's intelligent client needs: dense,
+// 2-D convolution, pooling, ReLU, softmax classification, and an LSTM
+// with backpropagation-through-time. It stands in for the paper's
+// TensorFlow MobileNets/LSTM stack.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"pictor/internal/tensor"
+)
+
+// Param is one learnable weight array with its gradient accumulator.
+type Param struct {
+	W []float64
+	G []float64
+	// Adam moments.
+	m, v []float64
+}
+
+func newParam(n int) *Param {
+	return &Param{W: make([]float64, n), G: make([]float64, n)}
+}
+
+func (p *Param) zeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// initUniform fills weights with the fan-in-scaled uniform init.
+func (p *Param) initUniform(rng *rand.Rand, fanIn int) {
+	scale := math.Sqrt(2.0 / float64(fanIn))
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// Layer is one differentiable stage of a feed-forward network.
+type Layer interface {
+	// Forward maps input to output, caching what Backward needs.
+	Forward(x []float64) []float64
+	// Backward receives dLoss/dOutput, accumulates parameter gradients,
+	// and returns dLoss/dInput.
+	Backward(grad []float64) []float64
+	// Params lists the layer's learnable parameters (may be empty).
+	Params() []*Param
+}
+
+// Dense is a fully connected layer: y = Wx + b.
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	lastX   []float64
+}
+
+// NewDense creates a dense layer with fan-in initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam(in * out), b: newParam(out)}
+	d.w.initUniform(rng, in)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic("nn: Dense input size mismatch")
+	}
+	d.lastX = append(d.lastX[:0], x...)
+	out := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		out[o] = d.b.W[o] + tensor.Dot(row, x)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad[o]
+		if g == 0 {
+			continue
+		}
+		d.b.G[o] += g
+		row := d.w.W[o*d.In : (o+1)*d.In]
+		grow := d.w.G[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += g * d.lastX[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct{ lastX []float64 }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x []float64) []float64 {
+	r.lastX = append(r.lastX[:0], x...)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad []float64) []float64 {
+	dx := make([]float64, len(grad))
+	for i, g := range grad {
+		if r.lastX[i] > 0 {
+			dx[i] = g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Conv2D is a valid-padding, stride-1 convolution over an (H, W, C)
+// input producing (H-k+1, W-k+1, OutC). Implemented with im2col.
+type Conv2D struct {
+	H, W, InC, OutC, K int
+	w, b               *Param
+	lastCols           *tensor.Tensor
+}
+
+// NewConv2D creates a convolution layer.
+func NewConv2D(h, w, inC, outC, k int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{H: h, W: w, InC: inC, OutC: outC, K: k,
+		w: newParam(k * k * inC * outC), b: newParam(outC)}
+	c.w.initUniform(rng, k*k*inC)
+	return c
+}
+
+// OutH reports the output height.
+func (c *Conv2D) OutH() int { return c.H - c.K + 1 }
+
+// OutW reports the output width.
+func (c *Conv2D) OutW() int { return c.W - c.K + 1 }
+
+// OutLen reports the flattened output length.
+func (c *Conv2D) OutLen() int { return c.OutH() * c.OutW() * c.OutC }
+
+// Forward implements Layer. Input is flattened (H, W, C); output is
+// flattened (OutH, OutW, OutC).
+func (c *Conv2D) Forward(x []float64) []float64 {
+	in := tensor.FromSlice(x, c.H, c.W, c.InC)
+	cols := tensor.Im2Col(in, c.K, c.K) // (outH*outW, K*K*InC)
+	c.lastCols = cols
+	kmat := tensor.FromSlice(c.w.W, c.OutC, c.K*c.K*c.InC)
+	rows, depth := cols.Shape[0], cols.Shape[1]
+	out := make([]float64, rows*c.OutC)
+	for r := 0; r < rows; r++ {
+		patch := cols.Data[r*depth : (r+1)*depth]
+		for o := 0; o < c.OutC; o++ {
+			out[r*c.OutC+o] = c.b.W[o] + tensor.Dot(kmat.Data[o*depth:(o+1)*depth], patch)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. For compactness it propagates gradients to
+// parameters and to the input via the im2col mapping.
+func (c *Conv2D) Backward(grad []float64) []float64 {
+	depth := c.K * c.K * c.InC
+	rows := c.OutH() * c.OutW()
+	dcols := make([]float64, rows*depth)
+	for r := 0; r < rows; r++ {
+		patch := c.lastCols.Data[r*depth : (r+1)*depth]
+		for o := 0; o < c.OutC; o++ {
+			g := grad[r*c.OutC+o]
+			if g == 0 {
+				continue
+			}
+			c.b.G[o] += g
+			wrow := c.w.W[o*depth : (o+1)*depth]
+			growW := c.w.G[o*depth : (o+1)*depth]
+			drow := dcols[r*depth : (r+1)*depth]
+			for i := 0; i < depth; i++ {
+				growW[i] += g * patch[i]
+				drow[i] += g * wrow[i]
+			}
+		}
+	}
+	// Scatter column gradients back to input positions.
+	dx := make([]float64, c.H*c.W*c.InC)
+	ow := c.OutW()
+	r := 0
+	for oy := 0; oy < c.OutH(); oy++ {
+		for ox := 0; ox < ow; ox++ {
+			col := 0
+			for ky := 0; ky < c.K; ky++ {
+				for kx := 0; kx < c.K; kx++ {
+					base := ((oy+ky)*c.W + ox + kx) * c.InC
+					for ch := 0; ch < c.InC; ch++ {
+						dx[base+ch] += dcols[r*depth+col]
+						col++
+					}
+				}
+			}
+			r++
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// MaxPool2 is 2×2 max pooling with stride 2 over an (H, W, C) input.
+type MaxPool2 struct {
+	H, W, C int
+	argmax  []int
+}
+
+// NewMaxPool2 creates the pooling layer; H and W must be even.
+func NewMaxPool2(h, w, c int) *MaxPool2 {
+	if h%2 != 0 || w%2 != 0 {
+		panic("nn: MaxPool2 needs even dimensions")
+	}
+	return &MaxPool2{H: h, W: w, C: c}
+}
+
+// OutLen reports the flattened output length.
+func (p *MaxPool2) OutLen() int { return p.H / 2 * p.W / 2 * p.C }
+
+// Forward implements Layer.
+func (p *MaxPool2) Forward(x []float64) []float64 {
+	oh, ow := p.H/2, p.W/2
+	out := make([]float64, oh*ow*p.C)
+	p.argmax = make([]int, len(out))
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ch := 0; ch < p.C; ch++ {
+				best := math.Inf(-1)
+				bestIdx := -1
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						idx := ((oy*2+dy)*p.W+ox*2+dx)*p.C + ch
+						if x[idx] > best {
+							best = x[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := (oy*ow+ox)*p.C + ch
+				out[o] = best
+				p.argmax[o] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2) Backward(grad []float64) []float64 {
+	dx := make([]float64, p.H*p.W*p.C)
+	for o, g := range grad {
+		dx[p.argmax[o]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2) Params() []*Param { return nil }
+
+// Sequential chains layers into one network.
+type Sequential struct {
+	Layers []Layer
+}
+
+// Forward runs the full stack.
+func (s *Sequential) Forward(x []float64) []float64 {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the full reverse pass.
+func (s *Sequential) Backward(grad []float64) []float64 {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params gathers every layer's parameters.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes loss and dLoss/dLogits for one example.
+func SoftmaxCrossEntropy(logits []float64, label int) (loss float64, grad []float64) {
+	probs := tensor.Softmax(logits)
+	grad = make([]float64, len(logits))
+	copy(grad, probs)
+	grad[label] -= 1
+	p := probs[label]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p), grad
+}

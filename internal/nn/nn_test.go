@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pictor/internal/tensor"
+)
+
+// numGrad estimates dLoss/dW numerically for gradient checking.
+func numGrad(f func() float64, w *float64) float64 {
+	const eps = 1e-5
+	orig := *w
+	*w = orig + eps
+	up := f()
+	*w = orig - eps
+	down := f()
+	*w = orig
+	return (up - down) / (2 * eps)
+}
+
+func TestDenseForwardShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(3, 2, rng)
+	out := d.Forward([]float64{1, 2, 3})
+	if len(out) != 2 {
+		t.Fatalf("output size = %d, want 2", len(out))
+	}
+}
+
+func TestDenseInputMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	NewDense(3, 2, rand.New(rand.NewSource(1))).Forward([]float64{1})
+}
+
+func TestDenseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDense(4, 3, rng)
+	x := []float64{0.5, -0.3, 0.8, 0.1}
+	label := 1
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(d.Forward(x), label)
+		return l
+	}
+	// Analytic gradients.
+	_, g := SoftmaxCrossEntropy(d.Forward(x), label)
+	d.Backward(g)
+	for _, p := range d.Params() {
+		for i := range p.W {
+			want := numGrad(loss, &p.W[i])
+			if math.Abs(p.G[i]-want) > 1e-4 {
+				t.Fatalf("dense grad[%d] = %v, numeric %v", i, p.G[i], want)
+			}
+		}
+	}
+}
+
+func TestDenseBackwardInputGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense(3, 2, rng)
+	x := []float64{0.2, -0.4, 0.9}
+	label := 0
+	loss := func(xv []float64) float64 {
+		l, _ := SoftmaxCrossEntropy(d.Forward(xv), label)
+		return l
+	}
+	_, g := SoftmaxCrossEntropy(d.Forward(x), label)
+	dx := d.Backward(g)
+	for i := range x {
+		want := numGrad(func() float64 { return loss(x) }, &x[i])
+		if math.Abs(dx[i]-want) > 1e-4 {
+			t.Fatalf("input grad[%d] = %v, numeric %v", i, dx[i], want)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	out := r.Forward([]float64{-1, 0, 2})
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Fatalf("relu forward = %v", out)
+	}
+	dx := r.Backward([]float64{1, 1, 1})
+	if dx[0] != 0 || dx[1] != 0 || dx[2] != 1 {
+		t.Fatalf("relu backward = %v", dx)
+	}
+}
+
+func TestConv2DOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv2D(8, 8, 1, 4, 3, rng)
+	if c.OutH() != 6 || c.OutW() != 6 || c.OutLen() != 6*6*4 {
+		t.Fatalf("conv out dims wrong: %d×%d×%d", c.OutH(), c.OutW(), c.OutC)
+	}
+	out := c.Forward(make([]float64, 64))
+	if len(out) != c.OutLen() {
+		t.Fatalf("conv out len = %d, want %d", len(out), c.OutLen())
+	}
+}
+
+func TestConv2DGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2D(4, 4, 1, 2, 3, rng)
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.Float64() - 0.5
+	}
+	label := 3
+	loss := func() float64 {
+		l, _ := SoftmaxCrossEntropy(c.Forward(x), label)
+		return l
+	}
+	_, g := SoftmaxCrossEntropy(c.Forward(x), label)
+	c.Backward(g)
+	for _, p := range c.Params() {
+		for i := range p.W {
+			want := numGrad(loss, &p.W[i])
+			if math.Abs(p.G[i]-want) > 1e-4 {
+				t.Fatalf("conv grad[%d] = %v, numeric %v", i, p.G[i], want)
+			}
+		}
+	}
+}
+
+func TestMaxPool2(t *testing.T) {
+	p := NewMaxPool2(2, 2, 1)
+	out := p.Forward([]float64{1, 3, 2, 0})
+	if len(out) != 1 || out[0] != 3 {
+		t.Fatalf("pool forward = %v, want [3]", out)
+	}
+	dx := p.Backward([]float64{1})
+	if dx[1] != 1 || dx[0] != 0 {
+		t.Fatalf("pool backward = %v, want grad at argmax only", dx)
+	}
+}
+
+func TestMaxPool2OddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd pool dims did not panic")
+		}
+	}()
+	NewMaxPool2(3, 2, 1)
+}
+
+func TestSequentialLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := &Sequential{Layers: []Layer{
+		NewDense(2, 8, rng),
+		&ReLU{},
+		NewDense(8, 2, rng),
+	}}
+	opt := NewAdam(net.Params(), 0.01)
+	data := [][2]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []int{0, 1, 1, 0}
+	for epoch := 0; epoch < 400; epoch++ {
+		for i, d := range data {
+			logits := net.Forward(d[:])
+			_, g := SoftmaxCrossEntropy(logits, labels[i])
+			net.Backward(g)
+			opt.Step()
+		}
+	}
+	for i, d := range data {
+		logits := net.Forward(d[:])
+		if tensor.ArgMax(logits) != labels[i] {
+			t.Fatalf("XOR not learned: input %v → %v, want class %d", d, logits, labels[i])
+		}
+	}
+}
+
+func TestCNNLearnsPatterns(t *testing.T) {
+	// A conv+pool+dense stack must separate two 4×4 patterns.
+	rng := rand.New(rand.NewSource(7))
+	conv := NewConv2D(4, 4, 1, 4, 3, rng)
+	pool := NewMaxPool2(2, 2, 4)
+	net := &Sequential{Layers: []Layer{
+		conv,
+		&ReLU{},
+		pool,
+		NewDense(pool.OutLen(), 2, rng),
+	}}
+	opt := NewAdam(net.Params(), 0.01)
+	cross := []float64{1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 1, 0, 1, 0, 0, 1}
+	box := []float64{1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1}
+	for epoch := 0; epoch < 150; epoch++ {
+		for i, x := range [][]float64{cross, box} {
+			logits := net.Forward(x)
+			_, g := SoftmaxCrossEntropy(logits, i)
+			net.Backward(g)
+			opt.Step()
+		}
+	}
+	if tensor.ArgMax(net.Forward(cross)) != 0 || tensor.ArgMax(net.Forward(box)) != 1 {
+		t.Fatal("CNN failed to separate two trivially different patterns")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradSumsToZero(t *testing.T) {
+	_, g := SoftmaxCrossEntropy([]float64{0.3, -0.2, 1.4}, 2)
+	var sum float64
+	for _, v := range g {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("CE gradient sums to %v, want 0", sum)
+	}
+}
+
+func TestSaveLoadWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := NewDense(3, 2, rng)
+	b := NewDense(3, 2, rng)
+	blob, err := SaveWeights(a.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadWeights(b.Params(), blob); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, 0.2, 0.3}
+	ya, yb := a.Forward(x), b.Forward(x)
+	for i := range ya {
+		if ya[i] != yb[i] {
+			t.Fatal("loaded weights produce different output")
+		}
+	}
+	// Shape mismatch must fail cleanly.
+	c := NewDense(4, 2, rng)
+	if err := LoadWeights(c.Params(), blob); err == nil {
+		t.Fatal("shape mismatch load should error")
+	}
+}
+
+func TestAdamClipBoundsGradient(t *testing.T) {
+	p := newParam(2)
+	p.G[0], p.G[1] = 1e6, 1e6
+	opt := NewAdam([]*Param{p}, 0.1)
+	opt.Step()
+	if math.Abs(p.W[0]) > 1 {
+		t.Fatalf("clipped Adam step moved weight to %v", p.W[0])
+	}
+	if p.G[0] != 0 {
+		t.Fatal("gradients not zeroed after step")
+	}
+}

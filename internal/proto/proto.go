@@ -1,0 +1,25 @@
+// Package proto defines the messages exchanged between the client proxy,
+// server proxy and application — the wire/IPC vocabulary of the cloud
+// rendering system in Figure 1 of the paper.
+package proto
+
+import (
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+)
+
+// InputBytes is the network size of one input message (key/mouse/motion
+// event plus protocol framing). The paper measures input traffic at
+// about 1.5 Mbps total, i.e. a few hundred bytes per event.
+const InputBytes = 120
+
+// Input is one user input travelling client → server → application.
+type Input struct {
+	// Tag is the unique tracking tag assigned at hook1 by the client
+	// proxy. Zero means untagged (tracing disabled).
+	Tag uint64
+	// Action is the semantic input.
+	Action scene.Action
+	// Issued is the client-proxy send time.
+	Issued sim.Time
+}

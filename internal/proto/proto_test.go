@@ -1,0 +1,25 @@
+package proto
+
+import (
+	"testing"
+
+	"pictor/internal/scene"
+)
+
+func TestInputZeroValueIsUntagged(t *testing.T) {
+	var in Input
+	if in.Tag != 0 {
+		t.Fatal("zero input must be untagged")
+	}
+	if in.Action != scene.ActNone {
+		t.Fatal("zero input must carry no action")
+	}
+}
+
+func TestInputBytesPlausible(t *testing.T) {
+	// The paper measures ~1.5 Mbps of aggregate input traffic: a few
+	// hundred bytes per event at human input rates.
+	if InputBytes < 32 || InputBytes > 1500 {
+		t.Fatalf("InputBytes = %d, implausible for a key/motion event", InputBytes)
+	}
+}

@@ -1,0 +1,219 @@
+package scene
+
+import "math"
+
+// glyphs are the 8×8 base intensity patterns for each object type.
+// The rasterizer distorts them by pose, so the same object type produces
+// substantially different pixels from different viewing angles.
+var glyphs [NumTypes][CellPx * CellPx]float64
+
+func init() {
+	set := func(t Type, rows [CellPx]string) {
+		for y, row := range rows {
+			for x := 0; x < CellPx; x++ {
+				v := 0.0
+				switch row[x] {
+				case '#':
+					v = 1.0
+				case '+':
+					v = 0.6
+				case '.':
+					v = 0.25
+				}
+				glyphs[t][y*CellPx+x] = v
+			}
+		}
+	}
+	set(Track, [CellPx]string{
+		"..#..#..",
+		"..#..#..",
+		".#....#.",
+		".#....#.",
+		".#....#.",
+		"#......#",
+		"#......#",
+		"#......#",
+	})
+	set(Vehicle, [CellPx]string{
+		"...##...",
+		"..####..",
+		".######.",
+		"########",
+		".#.##.#.",
+		".######.",
+		"..#..#..",
+		".##..##.",
+	})
+	set(Item, [CellPx]string{
+		"........",
+		"...++...",
+		"..+##+..",
+		".+####+.",
+		".+####+.",
+		"..+##+..",
+		"...++...",
+		"........",
+	})
+	set(Enemy, [CellPx]string{
+		"#......#",
+		".#....#.",
+		"..####..",
+		".##..##.",
+		".######.",
+		"..####..",
+		".#....#.",
+		"#......#",
+	})
+	set(Building, [CellPx]string{
+		"..####..",
+		".######.",
+		".#.##.#.",
+		".######.",
+		".#.##.#.",
+		".######.",
+		".#.##.#.",
+		"########",
+	})
+	set(Panel, [CellPx]string{
+		"########",
+		"#......#",
+		"#.++++.#",
+		"#......#",
+		"#.++++.#",
+		"#......#",
+		"#......#",
+		"########",
+	})
+	set(Target, [CellPx]string{
+		"...##...",
+		"..+..+..",
+		".+.##.+.",
+		"#.####.#",
+		"#.####.#",
+		".+.##.+.",
+		"..+..+..",
+		"...##...",
+	})
+}
+
+// Frame is a rendered frame flowing through the cloud rendering system.
+// Pixels is the low-resolution raster the intelligent client analyzes;
+// the nominal application resolution (1920×1080×4B) determines the data
+// volumes moved over PCIe and the network.
+type Frame struct {
+	// Seq is the server-side frame number.
+	Seq int64
+	// Width and Height are the nominal application resolution.
+	Width, Height int
+	// Pixels is the FrameW×FrameH grayscale raster in [0,1], row-major.
+	Pixels []float64
+	// Complexity and Motion snapshot the scene state that produced the
+	// frame (drives render cost and compressibility).
+	Complexity float64
+	Motion     float64
+	// Tags lists the input tags this frame responds to. In the real
+	// system the tags are carried inside the pixels between hook6 and
+	// hook8; package trace implements that embedding on Pixels.
+	Tags []uint64
+	// CompressedBytes is set by the codec at the CP stage.
+	CompressedBytes float64
+	// Cells snapshots the scene grid that produced the frame. It is the
+	// ground truth used to label CNN training data and by the "real
+	// human" reference policy (a human perceives the objects directly;
+	// the intelligent client must recognize them from Pixels).
+	Cells []Cell
+	// PixelBackup holds the original values of the pixels hook6
+	// overwrote when embedding tags; hook8 restores them. It models the
+	// paper's "old pixels are stored in shared memory".
+	PixelBackup []float64
+}
+
+// RawBytes reports the uncompressed framebuffer size (RGBA).
+func (f *Frame) RawBytes() float64 { return float64(f.Width) * float64(f.Height) * 4 }
+
+// Clone deep-copies the frame (pixels and tags).
+func (f *Frame) Clone() *Frame {
+	g := *f
+	g.Pixels = make([]float64, len(f.Pixels))
+	copy(g.Pixels, f.Pixels)
+	g.Tags = append([]uint64(nil), f.Tags...)
+	g.Cells = append([]Cell(nil), f.Cells...)
+	return &g
+}
+
+// Render rasterizes the scene into a new frame at the given nominal
+// resolution. Pose distorts each glyph: rows shift laterally and the
+// intensity envelope rotates, so pixel-exact comparison across frames of
+// the "same" scene content fails — the property that breaks DeskBench on
+// 3D applications.
+func (s *Scene) Render(seq int64, width, height int) *Frame {
+	px := make([]float64, FrameW*FrameH)
+	for gy := 0; gy < GridH; gy++ {
+		for gx := 0; gx < GridW; gx++ {
+			c := s.cells[gy*GridW+gx]
+			if c.T == Empty {
+				continue
+			}
+			drawGlyph(px, gx, gy, c)
+		}
+	}
+	// Pseudo-random dither keyed by scene tick: models temporal noise
+	// (anti-aliasing, animation sub-frames) without an RNG dependency,
+	// keeping Render const with respect to the scene's random stream.
+	n := uint64(s.tick)*2654435761 + 12345
+	for i := range px {
+		n = n*6364136223846793005 + 1442695040888963407
+		px[i] += (float64(n>>40&0xFF)/255 - 0.5) * 0.06
+		if px[i] < 0 {
+			px[i] = 0
+		}
+		if px[i] > 1 {
+			px[i] = 1
+		}
+	}
+	return &Frame{
+		Seq:        seq,
+		Width:      width,
+		Height:     height,
+		Pixels:     px,
+		Complexity: s.Complexity(),
+		Motion:     s.Motion(),
+		Cells:      s.Cells(),
+	}
+}
+
+func drawGlyph(px []float64, gx, gy int, c Cell) {
+	g := &glyphs[c.T]
+	shift := int(math.Round(c.Pose*6)) - 3 // lateral shift −3..+3
+	phase := c.Pose * 2 * math.Pi
+	for y := 0; y < CellPx; y++ {
+		// Intensity envelope varies down the glyph with pose ("lighting").
+		envelope := 0.65 + 0.35*math.Sin(phase+float64(y)*0.7)
+		for x := 0; x < CellPx; x++ {
+			sx := x + shift
+			if sx < 0 || sx >= CellPx {
+				continue
+			}
+			v := g[y*CellPx+x] * envelope
+			tx := gx*CellPx + sx
+			ty := gy*CellPx + y
+			idx := ty*FrameW + tx
+			if v > px[idx] {
+				px[idx] = v
+			}
+		}
+	}
+}
+
+// Similarity reports mean per-pixel agreement between two rasters in
+// [0,1] (1 = identical). DeskBench's replay gate uses this.
+func Similarity(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var diff float64
+	for i := range a {
+		diff += math.Abs(a[i] - b[i])
+	}
+	return 1 - diff/float64(len(a))
+}

@@ -1,0 +1,211 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All of Pictor's hardware and software models run on top of this kernel:
+// time is virtual (nanosecond resolution), events execute in strict
+// (time, sequence) order, and all randomness flows through explicitly
+// seeded sources, so every simulation is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of simulated time, in nanoseconds.
+type Duration = time.Duration
+
+// Common durations re-exported for readability at call sites.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+)
+
+// Seconds converts a simulated timestamp to float seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts a simulated timestamp to float milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Add offsets a timestamp by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string {
+	return Duration(t).String()
+}
+
+// DurationOfSeconds converts float seconds into a Duration, saturating on
+// overflow so pathological model outputs cannot wrap the clock.
+func DurationOfSeconds(s float64) Duration {
+	ns := s * float64(Second)
+	if ns >= math.MaxInt64 {
+		return Duration(math.MaxInt64)
+	}
+	if ns <= 0 {
+		return 0
+	}
+	return Duration(ns)
+}
+
+// event is one scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break so same-time events run FIFO
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	ev.idx = -1
+	return ev
+}
+
+// Kernel is the simulation event loop. The zero value is ready to use.
+type Kernel struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Now reports the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of events still scheduled.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, ev := range k.heap {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it would silently corrupt causality.
+func (k *Kernel) At(t Time, fn func()) EventID {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.heap, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// clamped to zero so model noise cannot schedule into the past.
+func (k *Kernel) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (k *Kernel) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.dead || id.ev.idx < 0 {
+		return false
+	}
+	id.ev.dead = true
+	return true
+}
+
+// Step runs the single next event, reporting whether one existed.
+func (k *Kernel) Step() bool {
+	for len(k.heap) > 0 {
+		ev := heap.Pop(&k.heap).(*event)
+		if ev.dead {
+			continue
+		}
+		k.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	k.running = true
+	defer func() { k.running = false }()
+	for !k.stopped && k.Step() {
+	}
+	k.stopped = false
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to exactly t. Events scheduled after t remain pending.
+func (k *Kernel) RunUntil(t Time) {
+	k.running = true
+	defer func() { k.running = false }()
+	for !k.stopped {
+		// Peek at the next live event.
+		var next *event
+		for len(k.heap) > 0 {
+			if k.heap[0].dead {
+				heap.Pop(&k.heap)
+				continue
+			}
+			next = k.heap[0]
+			break
+		}
+		if next == nil || next.at > t {
+			break
+		}
+		k.Step()
+	}
+	k.stopped = false
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Stop aborts a Run/RunUntil in progress after the current event returns.
+func (k *Kernel) Stop() { k.stopped = true }

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelRunsEventsInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.After(30*Millisecond, func() { got = append(got, 3) })
+	k.After(10*Millisecond, func() { got = append(got, 1) })
+	k.After(20*Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestKernelClockAdvances(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.After(7*Millisecond, func() { at = k.Now() })
+	k.Run()
+	if at != Time(7*Millisecond) {
+		t.Fatalf("event ran at %v, want 7ms", at)
+	}
+	if k.Now() != Time(7*Millisecond) {
+		t.Fatalf("clock = %v after run, want 7ms", k.Now())
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			k.After(Millisecond, tick)
+		}
+	}
+	k.After(0, tick)
+	k.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if k.Now() != Time(4*Millisecond) {
+		t.Fatalf("clock = %v, want 4ms", k.Now())
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelNegativeDelayClamped(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	k.After(-time.Second, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock = %v, want 0", k.Now())
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	id := k.After(Millisecond, func() { ran = true })
+	if !k.Cancel(id) {
+		t.Fatal("first cancel reported false")
+	}
+	if k.Cancel(id) {
+		t.Fatal("second cancel reported true")
+	}
+	k.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, d := range []Duration{Millisecond, 2 * Millisecond, 5 * Millisecond} {
+		k.After(d, func() { fired = append(fired, k.Now()) })
+	}
+	k.RunUntil(Time(3 * Millisecond))
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if k.Now() != Time(3*Millisecond) {
+		t.Fatalf("clock = %v, want 3ms", k.Now())
+	}
+	k.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after full run, want 3", len(fired))
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	for i := 0; i < 10; i++ {
+		k.After(Duration(i)*Millisecond, func() {
+			n++
+			if n == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events before stop, want 3", n)
+	}
+	// The kernel must be reusable after Stop.
+	k.Run()
+	if n != 10 {
+		t.Fatalf("ran %d events total, want 10", n)
+	}
+}
+
+func TestKernelPending(t *testing.T) {
+	k := NewKernel()
+	id := k.After(Millisecond, func() {})
+	k.After(2*Millisecond, func() {})
+	if got := k.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	k.Cancel(id)
+	if got := k.Pending(); got != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+// Property: however events are scheduled, execution observes monotonically
+// non-decreasing timestamps.
+func TestKernelMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			k.After(Duration(d)*Microsecond, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := Time(1500 * Millisecond)
+	if got := tm.Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", got)
+	}
+	if got := tm.Millis(); got != 1500 {
+		t.Fatalf("Millis = %v, want 1500", got)
+	}
+	if got := tm.Add(500 * Millisecond); got != Time(2*Second) {
+		t.Fatalf("Add = %v, want 2s", got)
+	}
+	if got := tm.Sub(Time(Second)); got != 500*Millisecond {
+		t.Fatalf("Sub = %v, want 500ms", got)
+	}
+}
+
+func TestDurationOfSeconds(t *testing.T) {
+	if got := DurationOfSeconds(0.001); got != Millisecond {
+		t.Fatalf("DurationOfSeconds(0.001) = %v, want 1ms", got)
+	}
+	if got := DurationOfSeconds(-5); got != 0 {
+		t.Fatalf("negative seconds = %v, want 0", got)
+	}
+	if got := DurationOfSeconds(1e300); got <= 0 {
+		t.Fatalf("huge seconds should saturate positive, got %v", got)
+	}
+}

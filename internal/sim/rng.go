@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a deterministic random source. Every model component derives
+// its own RNG (via Fork) so adding a component never perturbs the random
+// streams of the others.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a seeded random source.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child stream, keyed by a label hash so the
+// child's stream is stable across code reorderings that don't change labels.
+func (g *RNG) Fork(label string) *RNG {
+	var h int64 = 1469598103934665603 // FNV-1a offset basis (truncated)
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(h ^ g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Normal returns a Gaussian sample with the given mean and stddev.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// LogNormalAround returns a sample whose median is m and whose spread is
+// controlled by sigma (sigma ~0.1 gives ±10%-ish jitter). Latency-like
+// quantities in the simulator use this: strictly positive, right-skewed.
+func (g *RNG) LogNormalAround(m, sigma float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return m * math.Exp(sigma*g.r.NormFloat64())
+}
+
+// Exponential returns an exponential sample with the given mean.
+func (g *RNG) Exponential(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Jitter returns d scaled by a lognormal factor with spread sigma.
+func (g *RNG) Jitter(d Duration, sigma float64) Duration {
+	return DurationOfSeconds(g.LogNormalAround(float64(d)/1e9, sigma))
+}
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (±%v)", msg, got, want, tol)
+	}
+}
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{4, 1, 3, 2})
+	if s.N() != 4 {
+		t.Fatalf("N = %d, want 4", s.N())
+	}
+	approx(t, s.Mean(), 2.5, 1e-12, "mean")
+	approx(t, s.Sum(), 10, 1e-12, "sum")
+	approx(t, s.Min(), 1, 0, "min")
+	approx(t, s.Max(), 4, 0, "max")
+	approx(t, s.Variance(), 1.25, 1e-12, "variance")
+	approx(t, s.StdDev(), math.Sqrt(1.25), 1e-12, "stddev")
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample must report zeros")
+	}
+	sum := s.Summarize()
+	if sum.N != 0 || sum.Mean != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{10, 20, 30, 40, 50})
+	approx(t, s.Percentile(0), 10, 0, "p0")
+	approx(t, s.Percentile(100), 50, 0, "p100")
+	approx(t, s.Percentile(50), 30, 1e-12, "p50")
+	approx(t, s.Percentile(25), 20, 1e-12, "p25")
+	approx(t, s.Percentile(10), 14, 1e-12, "p10 interpolated")
+}
+
+func TestPercentileSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		approx(t, s.Percentile(p), 42, 0, "single-value percentile")
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{3, 1})
+	_ = s.Percentile(50)
+	s.Add(2)
+	approx(t, s.Percentile(50), 2, 1e-12, "median after late add")
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	m := s.Summarize()
+	if !(m.P1 <= m.P25 && m.P25 <= m.P75 && m.P75 <= m.P99) {
+		t.Fatalf("percentiles out of order: %+v", m)
+	}
+	approx(t, m.Mean, 500.5, 1e-9, "mean of 1..1000")
+}
+
+func TestPercentError(t *testing.T) {
+	approx(t, PercentError(102, 100), 2, 1e-12, "basic")
+	approx(t, PercentError(98, 100), 2, 1e-12, "symmetric")
+	approx(t, PercentError(0, 0), 0, 0, "zero/zero")
+	if !math.IsInf(PercentError(1, 0), 1) {
+		t.Fatal("nonzero/zero should be +Inf")
+	}
+}
+
+func TestPercentChange(t *testing.T) {
+	approx(t, PercentChange(150, 100), 50, 1e-12, "up")
+	approx(t, PercentChange(80, 100), -20, 1e-12, "down")
+	approx(t, PercentChange(5, 0), 0, 0, "zero base")
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	for i := 0; i < 60; i++ {
+		c.Tick(float64(i) * 0.5) // ticks at 0, 0.5, ..., 29.5s
+	}
+	if c.Count() != 60 {
+		t.Fatalf("Count = %d, want 60", c.Count())
+	}
+	approx(t, c.Rate(30), 2.0, 1e-9, "2 events/sec over 30s")
+	if c.Rate(0) != 0 {
+		t.Fatal("rate with horizon before first tick must be 0")
+	}
+}
+
+func TestCounterEmpty(t *testing.T) {
+	var c Counter
+	if c.Rate(10) != 0 || c.Count() != 0 {
+		t.Fatal("empty counter must be zero")
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	approx(t, Mean([]float64{1, 2, 3}), 2, 1e-12, "mean")
+	approx(t, Mean(nil), 0, 0, "mean empty")
+	approx(t, GeoMean([]float64{1, 100}), 10, 1e-9, "geomean")
+	approx(t, GeoMean([]float64{2, 0}), 0, 0, "geomean with zero")
+	approx(t, GeoMean(nil), 0, 0, "geomean empty")
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 uint8) bool {
+		var s Sample
+		ok := false
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := s.Percentile(a), s.Percentile(b)
+		return va <= vb+1e-9 && va >= s.Min()-1e-9 && vb <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		cnt := 0
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				s.Add(x)
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-6 && s.Mean() <= s.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Values returns a sorted copy that does not alias internals.
+func TestValuesSortedCopyProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, x := range raw {
+			if !math.IsNaN(x) {
+				s.Add(x)
+			}
+		}
+		v := s.Values()
+		if !sort.Float64sAreSorted(v) {
+			return false
+		}
+		if len(v) > 0 {
+			v[0] = math.Inf(-1)
+			if len(s.Values()) > 0 && math.IsInf(s.Values()[0], -1) {
+				return false // mutation leaked into the sample
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package tensor provides the small dense-tensor math underlying
+// Pictor's neural networks: shaped float64 arrays, matrix multiply, and
+// the im2col transform used by convolution layers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float64 array with a shape.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zeroed tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in %v", s, shape))
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data with a shape (no copy). len(data) must match.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len reports the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dims reports the shape length.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// index computes the flat offset for multi-dimensional indices.
+func (t *Tensor) index(idx ...int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for %d-d tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= t.Shape[d] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (size %d)", i, d, t.Shape[d]))
+		}
+		off = off*t.Shape[d] + i
+	}
+	return off
+}
+
+// At reads an element.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.index(idx...)] }
+
+// Set writes an element.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.index(idx...)] = v }
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// AddInPlace accumulates u into t elementwise.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: AddInPlace size mismatch")
+	}
+	for i, v := range u.Data {
+		t.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// MatMul computes the 2-D product a(m×k) · b(k×n) → (m×n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul needs 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatVec computes the product a(m×k) · x(k) → (m).
+func MatVec(a *Tensor, x []float64) []float64 {
+	if a.Dims() != 2 || a.Shape[1] != len(x) {
+		panic("tensor: MatVec shape mismatch")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	out := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		var s float64
+		for p, v := range row {
+			s += v * x[p]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Im2Col unrolls an (H, W, C) input into a matrix whose rows are the
+// kh×kw×C receptive fields of each valid output position, in row-major
+// output order. Convolution then reduces to one MatMul.
+func Im2Col(input *Tensor, kh, kw int) *Tensor {
+	if input.Dims() != 3 {
+		panic("tensor: Im2Col needs an (H, W, C) input")
+	}
+	h, w, c := input.Shape[0], input.Shape[1], input.Shape[2]
+	oh, ow := h-kh+1, w-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic("tensor: kernel larger than input")
+	}
+	out := New(oh*ow, kh*kw*c)
+	row := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			col := 0
+			for ky := 0; ky < kh; ky++ {
+				srcOff := ((oy+ky)*w + ox) * c
+				n := kw * c
+				copy(out.Data[row*out.Shape[1]+col:row*out.Shape[1]+col+n], input.Data[srcOff:srcOff+n])
+				col += n
+			}
+			row++
+		}
+	}
+	return out
+}
+
+// Dot computes the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Softmax returns the softmax of x (numerically stabilized).
+func Softmax(x []float64) []float64 {
+	out := make([]float64, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	maxV := x[0]
+	for _, v := range x {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(v - maxV)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// ArgMax reports the index of the largest element (-1 for empty input).
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,236 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	m := New(2, 3)
+	if m.Len() != 6 || m.Dims() != 2 {
+		t.Fatalf("shape wrong: len=%d dims=%d", m.Len(), m.Dims())
+	}
+	m.Set(5, 1, 2)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("fresh tensor not zeroed")
+	}
+}
+
+func TestNewInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero dimension did not panic")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestIndexOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index did not panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	m := FromSlice(data, 2, 3)
+	if m.At(1, 0) != 4 {
+		t.Fatalf("row-major layout wrong: At(1,0) = %v", m.At(1, 0))
+	}
+	// No copy: mutations are visible both ways.
+	data[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Fatal("FromSlice should wrap, not copy")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2, 2)
+	a.Set(1, 0, 0)
+	b := a.Clone()
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestFillScaleAdd(t *testing.T) {
+	a := New(3)
+	a.Fill(2)
+	a.Scale(3)
+	b := New(3)
+	b.Fill(1)
+	a.AddInPlace(b)
+	for i := 0; i < 3; i++ {
+		if a.Data[i] != 7 {
+			t.Fatalf("fill/scale/add = %v, want 7", a.Data[i])
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inner-dim mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	got := MatVec(a, []float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MatVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestIm2Col(t *testing.T) {
+	// 3×3 single-channel input, 2×2 kernel → 4 patches of 4 values.
+	in := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 3, 3, 1)
+	cols := Im2Col(in, 2, 2)
+	if cols.Shape[0] != 4 || cols.Shape[1] != 4 {
+		t.Fatalf("Im2Col shape = %v, want [4 4]", cols.Shape)
+	}
+	want := [][]float64{
+		{1, 2, 4, 5},
+		{2, 3, 5, 6},
+		{4, 5, 7, 8},
+		{5, 6, 8, 9},
+	}
+	for r, row := range want {
+		for c, v := range row {
+			if cols.At(r, c) != v {
+				t.Fatalf("patch %d = %v, want %v", r, cols.Data[r*4:(r+1)*4], row)
+			}
+		}
+	}
+}
+
+func TestIm2ColMultiChannel(t *testing.T) {
+	in := New(2, 2, 2)
+	in.Set(1, 0, 0, 0)
+	in.Set(2, 0, 0, 1)
+	cols := Im2Col(in, 2, 2)
+	if cols.Shape[0] != 1 || cols.Shape[1] != 8 {
+		t.Fatalf("multi-channel shape = %v, want [1 8]", cols.Shape)
+	}
+	if cols.At(0, 0) != 1 || cols.At(0, 1) != 2 {
+		t.Fatal("channel interleave wrong")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 1, 1})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform softmax = %v", p)
+		}
+	}
+	// Large logits must not overflow.
+	p = Softmax([]float64{1000, 0})
+	if math.IsNaN(p[0]) || p[0] < 0.999 {
+		t.Fatalf("softmax unstable: %v", p)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax of empty should be -1")
+	}
+}
+
+// Property: softmax output sums to 1 and every entry is in (0, 1].
+func TestSoftmaxNormalizedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 50))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := Softmax(xs)
+		var sum float64
+		for _, v := range p {
+			if v <= 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatMul with identity returns the original.
+func TestMatMulIdentityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		n := 3
+		if len(raw) < n*n {
+			return true
+		}
+		data := make([]float64, n*n)
+		for i := range data {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			data[i] = v
+		}
+		a := FromSlice(data, n, n)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(1, i, i)
+		}
+		c := MatMul(a, id)
+		for i := range c.Data {
+			if c.Data[i] != a.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

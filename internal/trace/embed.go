@@ -1,0 +1,75 @@
+package trace
+
+// Tag embedding (hook6 → hook8). The application cannot hand metadata to
+// the server proxy directly — frames cross the process boundary as raw
+// pixels — so, exactly as the paper does, the tags are written into the
+// first pixels of the frame at hook6 and extracted (and the original
+// pixels restored) at hook8.
+//
+// Layout, one value per pixel slot (values are bytes scaled into [0,1]):
+//
+//	pixel[0]          tag count n (≤ MaxEmbeddedTags)
+//	pixel[1..8n]      n little-endian uint64 tags, one byte per pixel
+
+// MaxEmbeddedTags bounds how many tags one frame can carry.
+const MaxEmbeddedTags = 15
+
+// embeddedLen reports the number of pixels the encoding occupies.
+func embeddedLen(n int) int { return 1 + 8*n }
+
+// EmbedTags writes the tags into the frame's leading pixels, returning
+// the displaced original values so hook8 can restore them. Frames too
+// small for the payload (or empty tag lists) return nil and are left
+// untouched.
+func EmbedTags(pixels []float64, tags []uint64) (saved []float64) {
+	if len(tags) == 0 {
+		return nil
+	}
+	if len(tags) > MaxEmbeddedTags {
+		tags = tags[:MaxEmbeddedTags]
+	}
+	n := embeddedLen(len(tags))
+	if len(pixels) < n {
+		return nil
+	}
+	saved = make([]float64, n)
+	copy(saved, pixels[:n])
+	pixels[0] = float64(len(tags)) / 255
+	for i, tag := range tags {
+		for b := 0; b < 8; b++ {
+			pixels[1+i*8+b] = float64((tag>>(8*b))&0xFF) / 255
+		}
+	}
+	return saved
+}
+
+// ExtractTags reads tags embedded by EmbedTags. It returns nil when the
+// header is implausible (count 0 or too large for the buffer).
+func ExtractTags(pixels []float64) []uint64 {
+	if len(pixels) == 0 {
+		return nil
+	}
+	count := int(pixels[0]*255 + 0.5)
+	if count <= 0 || count > MaxEmbeddedTags || len(pixels) < embeddedLen(count) {
+		return nil
+	}
+	tags := make([]uint64, count)
+	for i := range tags {
+		var tag uint64
+		for b := 0; b < 8; b++ {
+			byteVal := uint64(pixels[1+i*8+b]*255 + 0.5)
+			tag |= byteVal << (8 * b)
+		}
+		tags[i] = tag
+	}
+	return tags
+}
+
+// RestorePixels writes the saved original values back over the embedded
+// region. A nil saved slice is a no-op.
+func RestorePixels(pixels []float64, saved []float64) {
+	if saved == nil {
+		return
+	}
+	copy(pixels, saved)
+}

@@ -1,0 +1,264 @@
+// Package trace implements Pictor's performance analysis framework:
+// unique input tags, the ten API hooks of Figure 4, per-stage latency
+// accounting, FPS counters, and the embed-tag-in-pixels mechanism that
+// carries a tag across the application↔proxy IPC boundary (hook6→hook8).
+//
+// The framework is designed for low overhead: each hook charges a small
+// fixed CPU cost to its caller when tracing is enabled and nothing when
+// disabled, mirroring the paper's 2.7%-average FPS overhead result.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"pictor/internal/sim"
+	"pictor/internal/stats"
+)
+
+// Hook identifies one of the ten instrumentation points of Figure 4.
+type Hook int
+
+// The hooks, in input-processing order: 1 tags the input at the client
+// proxy, 2–3 bracket the server proxy's input handling, 4 is the
+// application receiving the input (XNextEvent), 5 is render start
+// (glXSwapBuffers), 6 is frame readback (glReadPixels) where the tag is
+// embedded in pixels, 7 is the IPC hand-off (XShmPutImage), 8 is the
+// server proxy receiving the frame, 9 is send start, 10 matches the tag
+// back at the client proxy.
+const (
+	Hook1 Hook = iota + 1
+	Hook2
+	Hook3
+	Hook4
+	Hook5
+	Hook6
+	Hook7
+	Hook8
+	Hook9
+	Hook10
+)
+
+// Stage identifies one pipeline stage of Figure 5.
+type Stage string
+
+// The pipeline stages. CS: client sends input; SP: server proxy input
+// processing; PS: proxy sends input to app (IPC); AL: application logic;
+// RD: GPU render; FC: frame copy (GPU→CPU); AS: app sends frame to proxy
+// (IPC); CP: proxy compresses; SS: server sends frame to client.
+const (
+	StageCS Stage = "CS"
+	StageSP Stage = "SP"
+	StagePS Stage = "PS"
+	StageAL Stage = "AL"
+	StageRD Stage = "RD"
+	StageFC Stage = "FC"
+	StageAS Stage = "AS"
+	StageCP Stage = "CP"
+	StageSS Stage = "SS"
+)
+
+// Stages lists all stages in pipeline order.
+var Stages = []Stage{StageCS, StageSP, StagePS, StageAL, StageRD, StageFC, StageAS, StageCP, StageSS}
+
+// HookCPUCost is the CPU time one enabled hook charges its caller.
+const HookCPUCost = 18 * sim.Microsecond
+
+// TagRecord accumulates everything observed about one tagged input.
+type TagRecord struct {
+	Tag      uint64
+	Hooks    map[Hook]sim.Time
+	Stages   map[Stage]sim.Duration
+	Complete bool
+}
+
+// Tracer is one instance's measurement context.
+type Tracer struct {
+	k       *sim.Kernel
+	enabled bool
+	nextTag uint64
+
+	records map[uint64]*TagRecord
+	order   []uint64
+
+	stageSamples map[Stage]*stats.Sample
+	rttSample    stats.Sample
+
+	serverFrames stats.Counter
+	clientFrames stats.Counter
+	droppedAtCoalesce int64
+
+	started sim.Time
+}
+
+// New creates an enabled tracer.
+func New(k *sim.Kernel) *Tracer {
+	t := &Tracer{
+		k:            k,
+		enabled:      true,
+		records:      make(map[uint64]*TagRecord),
+		stageSamples: make(map[Stage]*stats.Sample),
+		started:      k.Now(),
+	}
+	return t
+}
+
+// SetEnabled switches the analysis framework on or off (the paper's
+// overhead experiment runs the suite both ways).
+func (t *Tracer) SetEnabled(e bool) { t.enabled = e }
+
+// Enabled reports whether tracing is active.
+func (t *Tracer) Enabled() bool { return t.enabled }
+
+// HookCost reports the CPU cost callers must charge per hook crossing.
+func (t *Tracer) HookCost() sim.Duration {
+	if !t.enabled {
+		return 0
+	}
+	return HookCPUCost
+}
+
+// NextTag allocates a fresh input tag (hook1). Returns 0 when disabled.
+func (t *Tracer) NextTag() uint64 {
+	if !t.enabled {
+		return 0
+	}
+	t.nextTag++
+	return t.nextTag
+}
+
+func (t *Tracer) record(tag uint64) *TagRecord {
+	r, ok := t.records[tag]
+	if !ok {
+		r = &TagRecord{Tag: tag, Hooks: make(map[Hook]sim.Time), Stages: make(map[Stage]sim.Duration)}
+		t.records[tag] = r
+		t.order = append(t.order, tag)
+	}
+	return r
+}
+
+// RecordHook timestamps a hook crossing for a tag. Hook10 completes the
+// input's round trip and records its RTT.
+func (t *Tracer) RecordHook(h Hook, tag uint64) {
+	if !t.enabled || tag == 0 {
+		return
+	}
+	r := t.record(tag)
+	if _, dup := r.Hooks[h]; dup {
+		return // e.g. a retransmitted frame; first observation wins
+	}
+	r.Hooks[h] = t.k.Now()
+	if h == Hook10 {
+		if t1, ok := r.Hooks[Hook1]; ok && !r.Complete {
+			r.Complete = true
+			t.rttSample.Add(t.k.Now().Sub(t1).Seconds() * 1e3) // ms
+		}
+	}
+}
+
+// RecordHookMulti timestamps a hook crossing for every tag in the list
+// (frame-path hooks apply to all tags the frame answers).
+func (t *Tracer) RecordHookMulti(h Hook, tags []uint64) {
+	for _, tag := range tags {
+		t.RecordHook(h, tag)
+	}
+}
+
+// AddStage records a stage latency, attributed to the given tags (frame
+// stages list every tag the frame answers) and to the aggregate stage
+// distribution.
+func (t *Tracer) AddStage(s Stage, d sim.Duration, tags ...uint64) {
+	if !t.enabled {
+		return
+	}
+	sm, ok := t.stageSamples[s]
+	if !ok {
+		sm = &stats.Sample{}
+		t.stageSamples[s] = sm
+	}
+	sm.Add(float64(d) / float64(sim.Millisecond))
+	for _, tag := range tags {
+		if tag == 0 {
+			continue
+		}
+		r := t.record(tag)
+		if _, dup := r.Stages[s]; !dup {
+			r.Stages[s] = d
+		}
+	}
+}
+
+// ServerFrameTick counts one frame produced at the server proxy.
+func (t *Tracer) ServerFrameTick() { t.serverFrames.Tick(t.k.Now().Seconds()) }
+
+// ClientFrameTick counts one frame displayed at the client proxy.
+func (t *Tracer) ClientFrameTick() { t.clientFrames.Tick(t.k.Now().Seconds()) }
+
+// FrameDropped counts a frame coalesced away at the server proxy.
+func (t *Tracer) FrameDropped() { t.droppedAtCoalesce++ }
+
+// ServerFPS reports frames/second generated at the server.
+func (t *Tracer) ServerFPS() float64 { return t.serverFrames.Rate(t.k.Now().Seconds()) }
+
+// ClientFPS reports frames/second received at the client.
+func (t *Tracer) ClientFPS() float64 { return t.clientFrames.Rate(t.k.Now().Seconds()) }
+
+// DroppedFrames reports frames coalesced at the proxy.
+func (t *Tracer) DroppedFrames() int64 { return t.droppedAtCoalesce }
+
+// ServerFrameCount reports total frames counted at the server proxy.
+func (t *Tracer) ServerFrameCount() int64 { return t.serverFrames.Count() }
+
+// ClientFrameCount reports total frames counted at the client proxy.
+func (t *Tracer) ClientFrameCount() int64 { return t.clientFrames.Count() }
+
+// RTTs returns the RTT sample (milliseconds).
+func (t *Tracer) RTTs() *stats.Sample { return &t.rttSample }
+
+// StageSample returns the aggregate latency sample for a stage
+// (milliseconds); empty sample if never recorded.
+func (t *Tracer) StageSample(s Stage) *stats.Sample {
+	if sm, ok := t.stageSamples[s]; ok {
+		return sm
+	}
+	return &stats.Sample{}
+}
+
+// Records returns all tag records in tag order.
+func (t *Tracer) Records() []*TagRecord {
+	out := make([]*TagRecord, 0, len(t.order))
+	for _, tag := range t.order {
+		out = append(out, t.records[tag])
+	}
+	return out
+}
+
+// CompletedRTTCount reports how many inputs completed a round trip.
+func (t *Tracer) CompletedRTTCount() int { return t.rttSample.N() }
+
+// Reset clears all measurements, restarting at the current sim time
+// (used to discard warmup).
+func (t *Tracer) Reset() {
+	t.records = make(map[uint64]*TagRecord)
+	t.order = nil
+	t.stageSamples = make(map[Stage]*stats.Sample)
+	t.rttSample = stats.Sample{}
+	t.serverFrames = stats.Counter{}
+	t.clientFrames = stats.Counter{}
+	t.droppedAtCoalesce = 0
+	t.started = t.k.Now()
+}
+
+// Summary formats the stage table for reports.
+func (t *Tracer) Summary() string {
+	out := fmt.Sprintf("RTT: %s\n", t.rttSample.Summarize())
+	keys := make([]string, 0, len(t.stageSamples))
+	for s := range t.stageSamples {
+		keys = append(keys, string(s))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out += fmt.Sprintf("%-3s: %s\n", k, t.stageSamples[Stage(k)].Summarize())
+	}
+	return out
+}

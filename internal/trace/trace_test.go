@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pictor/internal/sim"
+)
+
+func TestTagAllocationSequential(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	if a, b := tr.NextTag(), tr.NextTag(); a == 0 || b != a+1 {
+		t.Fatalf("tags not sequential: %d, %d", a, b)
+	}
+}
+
+func TestDisabledTracerIsFree(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tr.SetEnabled(false)
+	if tr.NextTag() != 0 {
+		t.Fatal("disabled tracer handed out a tag")
+	}
+	if tr.HookCost() != 0 {
+		t.Fatal("disabled tracer charges hook cost")
+	}
+	tr.RecordHook(Hook1, 5)
+	tr.AddStage(StageAL, sim.Millisecond, 5)
+	if len(tr.Records()) != 0 || tr.StageSample(StageAL).N() != 0 {
+		t.Fatal("disabled tracer recorded data")
+	}
+}
+
+func TestRTTViaHooks(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tag := tr.NextTag()
+	tr.RecordHook(Hook1, tag)
+	k.After(83*sim.Millisecond, func() { tr.RecordHook(Hook10, tag) })
+	k.Run()
+	if n := tr.CompletedRTTCount(); n != 1 {
+		t.Fatalf("completed RTTs = %d, want 1", n)
+	}
+	if got := tr.RTTs().Mean(); got != 83 {
+		t.Fatalf("RTT = %vms, want 83", got)
+	}
+}
+
+func TestDuplicateHookIgnored(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tag := tr.NextTag()
+	tr.RecordHook(Hook1, tag)
+	k.After(10*sim.Millisecond, func() { tr.RecordHook(Hook10, tag) })
+	k.After(90*sim.Millisecond, func() { tr.RecordHook(Hook10, tag) })
+	k.Run()
+	if n := tr.CompletedRTTCount(); n != 1 {
+		t.Fatalf("completed RTTs = %d, want 1", n)
+	}
+	if got := tr.RTTs().Mean(); got != 10 {
+		t.Fatalf("RTT = %vms, want first observation (10)", got)
+	}
+}
+
+func TestUntaggedHookIgnored(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tr.RecordHook(Hook1, 0)
+	if len(tr.Records()) != 0 {
+		t.Fatal("tag 0 should never be recorded")
+	}
+}
+
+func TestStageAccounting(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tag := tr.NextTag()
+	tr.AddStage(StageAL, 12*sim.Millisecond, tag)
+	tr.AddStage(StageAL, 14*sim.Millisecond) // aggregate-only
+	s := tr.StageSample(StageAL)
+	if s.N() != 2 || s.Mean() != 13 {
+		t.Fatalf("AL sample = n%d mean%v, want n2 mean13", s.N(), s.Mean())
+	}
+	recs := tr.Records()
+	if len(recs) != 1 || recs[0].Stages[StageAL] != 12*sim.Millisecond {
+		t.Fatal("per-tag stage not recorded")
+	}
+}
+
+func TestPerTagStageFirstObservationWins(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tag := tr.NextTag()
+	tr.AddStage(StageCP, 5*sim.Millisecond, tag)
+	tr.AddStage(StageCP, 50*sim.Millisecond, tag)
+	if got := tr.Records()[0].Stages[StageCP]; got != 5*sim.Millisecond {
+		t.Fatalf("per-tag CP = %v, want first observation 5ms", got)
+	}
+}
+
+func TestFPSCounters(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	for i := 0; i < 30; i++ {
+		k.After(sim.Duration(i)*33*sim.Millisecond, tr.ServerFrameTick)
+		if i%2 == 0 {
+			k.After(sim.Duration(i)*33*sim.Millisecond, tr.ClientFrameTick)
+		}
+	}
+	k.Run()
+	k.RunUntil(sim.Time(sim.Second))
+	if fps := tr.ServerFPS(); fps < 25 || fps > 35 {
+		t.Fatalf("server FPS = %v, want ~30", fps)
+	}
+	if fps := tr.ClientFPS(); fps < 12 || fps > 18 {
+		t.Fatalf("client FPS = %v, want ~15", fps)
+	}
+}
+
+func TestReset(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tag := tr.NextTag()
+	tr.RecordHook(Hook1, tag)
+	tr.RecordHook(Hook10, tag)
+	tr.ServerFrameTick()
+	tr.FrameDropped()
+	tr.Reset()
+	if tr.CompletedRTTCount() != 0 || len(tr.Records()) != 0 || tr.DroppedFrames() != 0 {
+		t.Fatal("reset did not clear measurements")
+	}
+	// Tag counter must NOT reset: tags stay unique across the session.
+	if next := tr.NextTag(); next != tag+1 {
+		t.Fatalf("tag after reset = %d, want %d", next, tag+1)
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+	tr.AddStage(StageFC, 15*sim.Millisecond)
+	if s := tr.Summary(); len(s) == 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestEmbedExtractRoundTrip(t *testing.T) {
+	px := make([]float64, 100)
+	for i := range px {
+		px[i] = 0.5
+	}
+	tags := []uint64{1, 0xDEADBEEF, 1 << 62}
+	saved := EmbedTags(px, tags)
+	if saved == nil {
+		t.Fatal("embed failed")
+	}
+	got := ExtractTags(px)
+	if len(got) != 3 || got[0] != 1 || got[1] != 0xDEADBEEF || got[2] != 1<<62 {
+		t.Fatalf("extracted %v, want %v", got, tags)
+	}
+	RestorePixels(px, saved)
+	for i := range px {
+		if px[i] != 0.5 {
+			t.Fatalf("pixel %d not restored: %v", i, px[i])
+		}
+	}
+}
+
+func TestEmbedEmptyAndTooSmall(t *testing.T) {
+	if EmbedTags(make([]float64, 100), nil) != nil {
+		t.Fatal("embedding no tags should be a no-op")
+	}
+	if EmbedTags(make([]float64, 3), []uint64{1}) != nil {
+		t.Fatal("embedding into a tiny frame should fail")
+	}
+	if ExtractTags(nil) != nil {
+		t.Fatal("extracting from nothing should fail")
+	}
+}
+
+func TestEmbedCapsTagCount(t *testing.T) {
+	px := make([]float64, 4096)
+	tags := make([]uint64, 50)
+	for i := range tags {
+		tags[i] = uint64(i + 1)
+	}
+	EmbedTags(px, tags)
+	got := ExtractTags(px)
+	if len(got) != MaxEmbeddedTags {
+		t.Fatalf("extracted %d tags, want cap %d", len(got), MaxEmbeddedTags)
+	}
+}
+
+func TestExtractRejectsGarbage(t *testing.T) {
+	px := make([]float64, 100)
+	// All-zero pixels: count 0 → reject.
+	if ExtractTags(px) != nil {
+		t.Fatal("garbage pixels decoded as tags")
+	}
+	px[0] = 1.0 // count 255 > cap → reject
+	if ExtractTags(px) != nil {
+		t.Fatal("oversized count decoded as tags")
+	}
+}
+
+// Property: embed → extract is the identity and restore is exact, for
+// any tag set and background pixel pattern.
+func TestEmbedRoundTripProperty(t *testing.T) {
+	f := func(rawTags []uint64, seed uint8) bool {
+		tags := rawTags
+		if len(tags) > MaxEmbeddedTags {
+			tags = tags[:MaxEmbeddedTags]
+		}
+		valid := make([]uint64, 0, len(tags))
+		for _, tg := range tags {
+			if tg != 0 {
+				valid = append(valid, tg)
+			}
+		}
+		if len(valid) == 0 {
+			return true
+		}
+		px := make([]float64, 256)
+		v := float64(seed) / 255
+		for i := range px {
+			px[i] = v
+		}
+		orig := append([]float64(nil), px...)
+		saved := EmbedTags(px, valid)
+		got := ExtractTags(px)
+		if len(got) != len(valid) {
+			return false
+		}
+		for i := range got {
+			if got[i] != valid[i] {
+				return false
+			}
+		}
+		RestorePixels(px, saved)
+		for i := range px {
+			if px[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package vnc models the remote-display proxies of the cloud rendering
+// system (TurboVNC in the paper's testbed): the server proxy that
+// receives user inputs and compresses/ships frames, and the client
+// proxy that sends inputs and displays received frames.
+package vnc
+
+import (
+	"pictor/internal/codec"
+	"pictor/internal/hw/cpu"
+	"pictor/internal/netsim"
+	"pictor/internal/proto"
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+	"pictor/internal/trace"
+	"pictor/internal/x11"
+)
+
+// Costs parameterizes the proxy's per-message CPU work.
+type Costs struct {
+	// SPMs is server-proxy input handling (stage SP, sub-millisecond).
+	SPMs float64
+	// PSMs is the IPC injection of an input into the app (stage PS).
+	PSMs float64
+	// ReceiveMs is per-frame intake work at hook8 (shared-memory map,
+	// damage tracking). It shares the encoder thread with CP, so a
+	// faster application eats into encode throughput.
+	ReceiveMs float64
+	// IPCTax multiplies IPC-stage work (containers raise it).
+	IPCTax float64
+}
+
+// DefaultCosts returns typical TurboVNC input-path costs.
+func DefaultCosts() Costs {
+	return Costs{SPMs: 0.35, PSMs: 1.6, ReceiveMs: 0.7}
+}
+
+// ServerProxy is the cloud-side media proxy of one instance. Frame
+// intake and encoding share one serial worker (the RFB update thread);
+// network sends overlap with intake but only one update is in flight.
+type ServerProxy struct {
+	k       *sim.Kernel
+	proc    *cpu.Proc
+	link    *netsim.Link
+	display *x11.Display
+	tracer  *trace.Tracer
+	cod     codec.Codec
+	rng     *sim.RNG
+	costs   Costs
+
+	deliver func(f *scene.Frame)
+
+	tasks   []func(done func())
+	busy    bool
+	pending *scene.Frame
+	sending bool
+}
+
+// NewServerProxy creates the server proxy. Wire frame delivery to the
+// client proxy with SetDeliver before running.
+func NewServerProxy(k *sim.Kernel, proc *cpu.Proc, link *netsim.Link, display *x11.Display,
+	tracer *trace.Tracer, cod codec.Codec, costs Costs, rng *sim.RNG) *ServerProxy {
+	if costs.ReceiveMs <= 0 {
+		costs.ReceiveMs = 0.7
+	}
+	return &ServerProxy{
+		k: k, proc: proc, link: link, display: display,
+		tracer: tracer, cod: cod, costs: costs, rng: rng.Fork("vnc-server"),
+	}
+}
+
+// SetDeliver wires the frame delivery callback (client proxy).
+func (s *ServerProxy) SetDeliver(fn func(f *scene.Frame)) { s.deliver = fn }
+
+// Proc exposes the proxy's CPU process (for utilization reports).
+func (s *ServerProxy) Proc() *cpu.Proc { return s.proc }
+
+// Codec exposes the proxy's codec (the Chen-et-al. estimator needs it).
+func (s *ServerProxy) Codec() codec.Codec { return s.cod }
+
+// HandleInput processes one input arriving from the network: hook2, the
+// SP stage, hook3, then the PS IPC injection into the application's X
+// event queue. The input path runs on its own proxy thread and does not
+// queue behind frame encoding.
+func (s *ServerProxy) HandleInput(in proto.Input) {
+	now := s.k.Now()
+	s.tracer.RecordHook(trace.Hook2, in.Tag)
+	if in.Tag != 0 {
+		s.tracer.AddStage(trace.StageCS, now.Sub(in.Issued), in.Tag)
+	}
+	spWork := msToDur(s.costs.SPMs) + 2*s.tracer.HookCost()
+	spStart := now
+	s.proc.Run(spWork, func() {
+		s.tracer.AddStage(trace.StageSP, s.k.Now().Sub(spStart), in.Tag)
+		s.tracer.RecordHook(trace.Hook3, in.Tag)
+		psStart := s.k.Now()
+		psWork := msToDur(s.costs.PSMs * (1 + s.costs.IPCTax))
+		s.proc.Run(psWork, func() {
+			s.tracer.AddStage(trace.StagePS, s.k.Now().Sub(psStart), in.Tag)
+			s.display.Push(in)
+		})
+	})
+}
+
+// HandleFrame receives a rendered frame from the application's AS path.
+// Intake work is serialized with encoding on the update thread; frames
+// arriving while the encoder is behind coalesce onto the newest frame
+// (TurboVNC ships the latest framebuffer state, not a backlog).
+func (s *ServerProxy) HandleFrame(f *scene.Frame) {
+	s.exec(func(done func()) {
+		s.proc.Run(msToDur(s.costs.ReceiveMs)+s.tracer.HookCost(), func() {
+			// hook8: recover tags embedded in the pixels, restore the
+			// displaced values. The pixel-borne tags are authoritative
+			// across the IPC boundary.
+			tags := trace.ExtractTags(f.Pixels)
+			trace.RestorePixels(f.Pixels, f.PixelBackup)
+			f.PixelBackup = nil
+			f.Tags = tags
+			s.tracer.RecordHookMulti(trace.Hook8, tags)
+			s.tracer.ServerFrameTick()
+			if s.pending != nil {
+				// Newest frame wins, but answered inputs keep their tags.
+				f.Tags = append(append([]uint64(nil), s.pending.Tags...), f.Tags...)
+				s.tracer.FrameDropped()
+			}
+			s.pending = f
+			done()
+			s.pump()
+		})
+	})
+}
+
+// exec runs tasks one at a time on the update thread.
+func (s *ServerProxy) exec(t func(done func())) {
+	s.tasks = append(s.tasks, t)
+	s.drain()
+}
+
+func (s *ServerProxy) drain() {
+	if s.busy || len(s.tasks) == 0 {
+		return
+	}
+	s.busy = true
+	t := s.tasks[0]
+	s.tasks = s.tasks[1:]
+	t(func() {
+		s.busy = false
+		s.drain()
+	})
+}
+
+// pump starts compressing the pending frame if no update is in flight.
+func (s *ServerProxy) pump() {
+	if s.sending || s.pending == nil {
+		return
+	}
+	f := s.pending
+	s.pending = nil
+	s.sending = true
+	s.exec(func(done func()) {
+		bytes, cpCost := s.cod.Compress(f, s.rng)
+		f.CompressedBytes = bytes
+		cpStart := s.k.Now()
+		s.proc.Run(cpCost+s.tracer.HookCost(), func() {
+			s.tracer.AddStage(trace.StageCP, s.k.Now().Sub(cpStart), f.Tags...)
+			s.tracer.RecordHookMulti(trace.Hook9, f.Tags)
+			done() // encoder thread freed; the send overlaps intake
+			ssStart := s.k.Now()
+			s.link.SendToClient(bytes, func() {
+				s.tracer.AddStage(trace.StageSS, s.k.Now().Sub(ssStart), f.Tags...)
+				if s.deliver != nil {
+					s.deliver(f)
+				}
+				s.sending = false
+				s.pump()
+			})
+		})
+	})
+}
+
+func msToDur(ms float64) sim.Duration {
+	return sim.DurationOfSeconds(ms / 1e3)
+}
+
+// Driver consumes displayed frames and produces inputs. Implementations
+// live in internal/agent (human reference, intelligent client) and
+// internal/baselines (DeskBench, Slow-Motion pacing).
+type Driver interface {
+	// Attach hands the driver its input-sending function before the run
+	// starts.
+	Attach(send func(scene.Action))
+	// OnFrame delivers one displayed frame.
+	OnFrame(f *scene.Frame)
+}
+
+// ClientProxy is the user-side proxy of one instance.
+type ClientProxy struct {
+	k      *sim.Kernel
+	link   *netsim.Link
+	tracer *trace.Tracer
+	server *ServerProxy
+	driver Driver
+}
+
+// NewClientProxy creates the client proxy and wires the delivery path
+// from the server proxy.
+func NewClientProxy(k *sim.Kernel, link *netsim.Link, tracer *trace.Tracer, server *ServerProxy, driver Driver) *ClientProxy {
+	c := &ClientProxy{k: k, link: link, tracer: tracer, server: server, driver: driver}
+	server.SetDeliver(c.handleFrame)
+	if driver != nil {
+		driver.Attach(c.SendInput)
+	}
+	return c
+}
+
+// SendInput tags (hook1) and ships one input to the server.
+func (c *ClientProxy) SendInput(a scene.Action) {
+	tag := c.tracer.NextTag()
+	c.tracer.RecordHook(trace.Hook1, tag)
+	in := proto.Input{Tag: tag, Action: a, Issued: c.k.Now()}
+	c.link.SendToServer(proto.InputBytes, func() {
+		c.server.HandleInput(in)
+	})
+}
+
+// handleFrame completes the round trip (hook10), counts the client
+// frame, and hands the decompressed frame to the driver.
+func (c *ClientProxy) handleFrame(f *scene.Frame) {
+	c.tracer.RecordHookMulti(trace.Hook10, f.Tags)
+	c.tracer.ClientFrameTick()
+	if c.driver == nil {
+		return
+	}
+	c.k.After(codec.DecompressTime(f.CompressedBytes), func() {
+		c.driver.OnFrame(f)
+	})
+}

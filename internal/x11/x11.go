@@ -1,0 +1,86 @@
+// Package x11 models the X Window System pieces the cloud rendering
+// stack touches: the per-application event queue (XNextEvent — hook4's
+// interception point), event injection by the server proxy (the PS
+// stage), and XGetWindowAttributes — the notoriously slow round trip to
+// the X server that §6's first optimization memoizes away.
+package x11
+
+import (
+	"pictor/internal/hw/cpu"
+	"pictor/internal/proto"
+	"pictor/internal/sim"
+)
+
+// Display is one application's connection to the (virtual) X server.
+type Display struct {
+	k   *sim.Kernel
+	rng *sim.RNG
+
+	queue []proto.Input
+
+	width, height int
+	// attrBaseMs is the mean XGetWindowAttributes round-trip time.
+	// The paper measures 6–9 ms.
+	attrBaseMs float64
+
+	resolutionChanges int64
+}
+
+// NewDisplay creates a display with the given window resolution.
+func NewDisplay(k *sim.Kernel, rng *sim.RNG, width, height int) *Display {
+	return &Display{
+		k:          k,
+		rng:        rng.Fork("x11"),
+		width:      width,
+		height:     height,
+		attrBaseMs: 7.5,
+	}
+}
+
+// Push injects an input event into the application's queue (the tail
+// end of the PS stage; the server proxy charges the CPU work).
+func (d *Display) Push(in proto.Input) {
+	d.queue = append(d.queue, in)
+}
+
+// Drain removes and returns all queued events (the application calling
+// XNextEvent until empty at the top of its logic loop).
+func (d *Display) Drain() []proto.Input {
+	out := d.queue
+	d.queue = nil
+	return out
+}
+
+// Pending reports queued events without removing them.
+func (d *Display) Pending() int { return len(d.queue) }
+
+// Resolution reports the window size.
+func (d *Display) Resolution() (w, h int) { return d.width, d.height }
+
+// SetResolution changes the window size, which invalidates any memoized
+// attributes (callers watch ResolutionEpoch).
+func (d *Display) SetResolution(w, h int) {
+	if w == d.width && h == d.height {
+		return
+	}
+	d.width, d.height = w, h
+	d.resolutionChanges++
+}
+
+// ResolutionEpoch increments whenever the resolution changes; the
+// interposer's memoization uses it as a cache-invalidation key.
+func (d *Display) ResolutionEpoch() int64 { return d.resolutionChanges }
+
+// GetWindowAttributes performs the real X round trip: a small CPU cost
+// on the calling process plus a long wall-clock wait on the X server
+// (6–9 ms, worse when the machine is loaded). done receives the window
+// size.
+func (d *Display) GetWindowAttributes(proc *cpu.Proc, done func(w, h int)) {
+	ms := 6 + d.rng.Float64()*3 // uniform 6–9 ms, per the paper
+	wait := sim.DurationOfSeconds(ms / 1e3)
+	proc.Run(150*sim.Microsecond, func() {
+		d.k.After(wait, func() {
+			done(d.width, d.height)
+		})
+	})
+}

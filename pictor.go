@@ -1,0 +1,179 @@
+// Package pictor is a benchmarking framework for interactive 3D
+// applications in the cloud — a faithful, simulation-based reproduction
+// of "A Benchmarking Framework for Interactive 3D Applications in the
+// Cloud" (Liu et al., MICRO 2020, arXiv:2006.13378).
+//
+// Pictor has two halves, mirroring the paper:
+//
+//   - An intelligent client framework: a CNN recognizes the objects in
+//     each frame streamed to the client and an LSTM generates
+//     human-like inputs from them, so benchmarks can be driven
+//     reliably even when scenes are random. Both networks are real
+//     (pure-Go, trained from recorded sessions), not stubs.
+//   - A performance analysis framework: inputs are tagged at the client
+//     proxy and tracked through every pipeline stage (network, server
+//     proxy, X event queue, application logic, GPU render, PCIe frame
+//     copy, compression, network again) via API hooks, yielding exact
+//     round-trip times, per-stage latencies, FPS, utilization, PMU
+//     counters and power.
+//
+// Because this repository has no GPUs, games or client fleet, the whole
+// cloud rendering system of the paper's Figure 1 — TurboVNC-style
+// proxies, a VirtualGL-style interposer, X11/OpenGL layers, a GPU with
+// shared caches, PCIe, a multi-core server and per-instance networks —
+// runs as a deterministic discrete-event simulation. See DESIGN.md for
+// the substitution argument and EXPERIMENTS.md for paper-vs-measured
+// results on every figure and table.
+//
+// # Quick start
+//
+//	cluster := pictor.NewCluster(pictor.Options{Seed: 1})
+//	cluster.AddInstance(pictor.NewInstanceConfig(pictor.SuiteByName("STK"), pictor.HumanDriver()))
+//	cluster.RunSeconds(3, 60)
+//	res := cluster.Results()[0]
+//	fmt.Printf("server %.1f fps, client %.1f fps, RTT %.1f ms\n",
+//		res.ServerFPS, res.ClientFPS, res.RTT.Mean)
+package pictor
+
+import (
+	"pictor/internal/app"
+	"pictor/internal/container"
+	"pictor/internal/core"
+	"pictor/internal/sim"
+	"pictor/internal/vgl"
+)
+
+// Re-exported configuration types. See the internal packages for the
+// full documentation of each field.
+type (
+	// Options configures a simulated server machine.
+	Options = core.Options
+	// InstanceConfig configures one benchmark instance.
+	InstanceConfig = core.InstanceConfig
+	// Profile is a benchmark's complete behavioural description.
+	Profile = app.Profile
+	// InstanceResult is one instance's measurements after a run.
+	InstanceResult = core.InstanceResult
+	// MethodologyResult is one Figure-6/Table-3 row.
+	MethodologyResult = core.MethodologyResult
+	// OptimizationResult is one Figure-22 row.
+	OptimizationResult = core.OptimizationResult
+	// ContainerResult is one Figure-20 row.
+	ContainerResult = core.ContainerResult
+	// OverheadResult is one §4 framework-overhead row.
+	OverheadResult = core.OverheadResult
+	// ExperimentConfig bounds experiment cost.
+	ExperimentConfig = core.ExperimentConfig
+	// DriverFactory builds a client driver for an instance.
+	DriverFactory = core.DriverFactory
+)
+
+// Cluster is a simulated cloud rendering server with its clients.
+type Cluster struct {
+	inner *core.Cluster
+}
+
+// NewCluster creates a server machine. The zero Options select the
+// paper's testbed (8 cores, GTX1080Ti-class GPU, 1 Gbps per-instance
+// networks).
+func NewCluster(opts Options) *Cluster {
+	return &Cluster{inner: core.NewCluster(opts)}
+}
+
+// AddInstance places a benchmark instance (application + VNC proxies +
+// client) on the server.
+func (c *Cluster) AddInstance(cfg InstanceConfig) {
+	c.inner.AddInstance(cfg)
+}
+
+// RunSeconds simulates warmup (discarded) plus a measurement window.
+func (c *Cluster) RunSeconds(warmup, measure float64) {
+	c.inner.Run(sim.DurationOfSeconds(warmup), sim.DurationOfSeconds(measure))
+}
+
+// Results snapshots every instance's measurements.
+func (c *Cluster) Results() []InstanceResult {
+	out := make([]InstanceResult, len(c.inner.Instances))
+	for i, inst := range c.inner.Instances {
+		out[i] = inst.Result()
+	}
+	return out
+}
+
+// TotalPowerWatts reports modelled wall power over the last window.
+func (c *Cluster) TotalPowerWatts() float64 { return c.inner.TotalPowerWatts() }
+
+// Suite returns the paper's six-benchmark suite (Table 2):
+// SuperTuxKart, 0 A.D., Red Eclipse, Dota2, InMind, IMHOTEP.
+func Suite() []Profile { return app.Suite() }
+
+// SuiteByName finds a suite profile by short name (STK, 0AD, RE, D2,
+// IM, ITP); it panics on unknown names (the suite is fixed).
+func SuiteByName(name string) Profile {
+	p, ok := app.ByName(name)
+	if !ok {
+		panic("pictor: unknown benchmark " + name)
+	}
+	return p
+}
+
+// NewInstanceConfig returns the standard instance setup: analysis
+// framework on, baseline (unoptimized) interposer, bare metal.
+func NewInstanceConfig(prof Profile, driver DriverFactory) InstanceConfig {
+	return core.NewInstanceConfig(prof, driver)
+}
+
+// HumanDriver plays the benchmark with the reference human policy.
+func HumanDriver() DriverFactory { return core.HumanDriver() }
+
+// IntelligentClientDriver records a human session for the benchmark,
+// trains the CNN+LSTM models (cached per process), and plays with the
+// trained intelligent client.
+func IntelligentClientDriver(prof Profile) DriverFactory {
+	models, _, _ := core.TrainedModels(prof)
+	return core.ICDriver(models)
+}
+
+// OptimizedInterposer returns the §6-optimized frame-copy options
+// (XGetWindowAttributes memoization + two-step asynchronous copy).
+func OptimizedInterposer() vgl.Options { return vgl.Optimized() }
+
+// BaselineInterposer returns the unoptimized TurboVNC/VirtualGL path.
+func BaselineInterposer() vgl.Options { return vgl.DefaultOptions() }
+
+// DockerContainer returns the calibrated container-overhead model for
+// InstanceConfig.Container.
+func DockerContainer() container.Overheads { return container.Docker() }
+
+// DefaultExperimentConfig is the configuration the benchmark harness
+// and CLI use.
+func DefaultExperimentConfig() ExperimentConfig { return core.DefaultExperimentConfig() }
+
+// RunMethodologyComparison reproduces Figure 6 / Table 3 for one
+// benchmark: RTT distributions and mean-RTT errors for the human
+// reference, Pictor's intelligent client, DeskBench, Chen et al. and
+// Slow-Motion.
+func RunMethodologyComparison(prof Profile, cfg ExperimentConfig) []MethodologyResult {
+	return core.RunMethodologyComparison(prof, cfg)
+}
+
+// RunCharacterization runs n co-located instances of a benchmark under
+// the given driver and returns per-instance measurements (§5.1–5.2).
+func RunCharacterization(prof Profile, n int, driver DriverFactory, cfg ExperimentConfig) []InstanceResult {
+	return core.RunCharacterization(prof, n, driver, cfg)
+}
+
+// RunOptimization reproduces Figure 22 for one benchmark.
+func RunOptimization(prof Profile, cfg ExperimentConfig) OptimizationResult {
+	return core.RunOptimization(prof, cfg)
+}
+
+// RunContainerOverhead reproduces Figure 20 for one benchmark.
+func RunContainerOverhead(prof Profile, cfg ExperimentConfig) ContainerResult {
+	return core.RunContainerOverhead(prof, cfg)
+}
+
+// RunOverhead reproduces the §4 analysis-framework overhead experiment.
+func RunOverhead(prof Profile, cfg ExperimentConfig) OverheadResult {
+	return core.RunOverhead(prof, cfg)
+}

@@ -1,0 +1,95 @@
+package pictor_test
+
+import (
+	"testing"
+
+	"pictor"
+)
+
+func TestSuiteComposition(t *testing.T) {
+	suite := pictor.Suite()
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d benchmarks, want 6 (Table 2)", len(suite))
+	}
+	vr, closed := 0, 0
+	for _, p := range suite {
+		if p.IsVR {
+			vr++
+		}
+		if p.ClosedSource {
+			closed++
+		}
+	}
+	if vr != 2 {
+		t.Fatalf("suite has %d VR titles, want 2", vr)
+	}
+	if closed != 2 {
+		t.Fatalf("suite has %d closed-source titles, want 2 (Dota2, InMind)", closed)
+	}
+}
+
+func TestSuiteByName(t *testing.T) {
+	if got := pictor.SuiteByName("D2").FullName; got != "Dota2" {
+		t.Fatalf("SuiteByName(D2) = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark should panic")
+		}
+	}()
+	pictor.SuiteByName("NOPE")
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cluster := pictor.NewCluster(pictor.Options{Seed: 3})
+	cluster.AddInstance(pictor.NewInstanceConfig(pictor.SuiteByName("RE"), pictor.HumanDriver()))
+	cluster.RunSeconds(2, 8)
+	rs := cluster.Results()
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.ServerFPS <= 0 || r.ClientFPS <= 0 {
+		t.Fatalf("no frames flowed: server %v, client %v", r.ServerFPS, r.ClientFPS)
+	}
+	if r.RTT.N == 0 || r.RTT.Mean <= 0 {
+		t.Fatal("no round trips measured")
+	}
+	if cluster.TotalPowerWatts() <= 0 {
+		t.Fatal("no power modelled")
+	}
+}
+
+func TestPublicOptimizationExperiment(t *testing.T) {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.Seconds = 10
+	r := pictor.RunOptimization(pictor.SuiteByName("STK"), cfg)
+	if r.OptServerFPS <= r.BaseServerFPS {
+		t.Fatalf("optimizations did not help: %.1f → %.1f fps", r.BaseServerFPS, r.OptServerFPS)
+	}
+}
+
+func TestPublicContainerExperiment(t *testing.T) {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.Seconds = 10
+	r := pictor.RunContainerOverhead(pictor.SuiteByName("IM"), cfg)
+	if r.BareServerFPS <= 0 || r.ContServerFPS <= 0 {
+		t.Fatal("container experiment produced no frames")
+	}
+	// Container overhead is small either way (paper: ~1.5% average,
+	// occasionally negative).
+	if r.FPSOverheadPct > 25 || r.FPSOverheadPct < -25 {
+		t.Fatalf("container FPS overhead implausible: %.1f%%", r.FPSOverheadPct)
+	}
+}
+
+func TestInterposerPresets(t *testing.T) {
+	base := pictor.BaselineInterposer()
+	opt := pictor.OptimizedInterposer()
+	if base.MemoizeAttributes || base.AsyncCopy {
+		t.Fatal("baseline interposer should have optimizations off")
+	}
+	if !opt.MemoizeAttributes || !opt.AsyncCopy {
+		t.Fatal("optimized interposer should have both optimizations on")
+	}
+}
