@@ -18,6 +18,7 @@ import (
 	"pictor/internal/agent"
 	"pictor/internal/app"
 	"pictor/internal/core"
+	"pictor/internal/exp"
 	"pictor/internal/sim"
 	"pictor/internal/stats"
 	"pictor/internal/trace"
@@ -131,7 +132,7 @@ func BenchmarkFig08Utilization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig08", "CPU and GPU utilization per benchmark (single instance)")
 		for _, prof := range app.Suite() {
-			r := core.RunCharacterization(prof, 1, core.HumanDriver(), cfg)[0]
+			r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 			if show {
 				fmt.Printf("%-4s app CPU %5.0f%%  VNC CPU %5.0f%%  GPU %4.1f%%  mem %4.0fMB  gpuMem %3.0fMB\n",
 					r.Benchmark, r.AppCPUUtil, r.VNCCPUUtil, r.GPUUtil, r.FootprintMB, r.GPUMemoryMB)
@@ -145,7 +146,7 @@ func BenchmarkFig09Bandwidth(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig09", "Network and PCIe bandwidth per benchmark (single instance)")
 		for _, prof := range app.Suite() {
-			r := core.RunCharacterization(prof, 1, core.HumanDriver(), cfg)[0]
+			r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 			if show {
 				fmt.Printf("%-4s net %4.0f Mbps down / %4.1f up   PCIe %6.1f MB/s from-GPU / %6.1f to-GPU\n",
 					r.Benchmark, r.NetDownMbps, r.NetUpMbps, r.PCIeFromGPU, r.PCIeToGPU)
@@ -154,13 +155,13 @@ func BenchmarkFig09Bandwidth(b *testing.B) {
 	}
 }
 
-// sweep runs 1..MaxInstances co-located copies and returns first-instance
-// results per count.
+// sweep runs 1..MaxInstances co-located copies as one batched grid and
+// returns first-instance results per count.
 func sweep(prof app.Profile, cfg core.ExperimentConfig) []core.InstanceResult {
-	out := make([]core.InstanceResult, 0, cfg.MaxInstances)
-	for n := 1; n <= cfg.MaxInstances; n++ {
-		rs := core.RunCharacterization(prof, n, core.HumanDriver(), cfg)
-		out = append(out, rs[0])
+	rs, _ := core.RunCharacterizationSweep(prof, cfg.MaxInstances, exp.DriverHuman, cfg)
+	out := make([]core.InstanceResult, len(rs))
+	for n, r := range rs {
+		out[n] = r[0]
 	}
 	return out
 }
@@ -299,10 +300,10 @@ func BenchmarkFig17Power(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig17", "Per-instance power, 1–4 instances")
 		for _, prof := range app.Suite() {
-			var perInst []float64
-			for n := 1; n <= cfg.MaxInstances; n++ {
-				_, watts := core.RunCharacterizationWithPower(prof, n, core.HumanDriver(), cfg)
-				perInst = append(perInst, watts/float64(n))
+			_, watts := core.RunCharacterizationSweep(prof, cfg.MaxInstances, exp.DriverHuman, cfg)
+			perInst := make([]float64, len(watts))
+			for i, w := range watts {
+				perInst[i] = w / float64(i+1)
 			}
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -345,7 +346,7 @@ func BenchmarkFig19Contentiousness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig19", "Dota2 degradation and cache-miss growth per co-runner")
 		d2 := app.D2()
-		solo := core.RunCharacterization(d2, 1, core.HumanDriver(), cfg)[0]
+		solo := core.RunCharacterization(d2, 1, exp.DriverHuman, cfg)[0]
 		for _, prof := range app.Suite() {
 			if prof.Name == d2.Name {
 				continue
@@ -470,3 +471,33 @@ func runWithInterposer(prof app.Profile, opts vgl.Options, cfg core.ExperimentCo
 }
 
 func secs(s float64) sim.Duration { return sim.DurationOfSeconds(s) }
+
+// BenchmarkSuiteGridParallel runs a reduced full-suite grid (shorter
+// windows, human-driven families only are still included — the grid
+// itself decides) on all cores: the experiment runner's headline path.
+func BenchmarkSuiteGridParallel(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Seconds = 8
+	cfg.MaxInstances = 2
+	cfg.Parallel = 0 // all cores
+	for i := 0; i < b.N; i++ {
+		g := core.RunSuiteGrid(cfg)
+		if show := printHeader("Grid", "full-suite grid on the parallel runner"); show {
+			fmt.Printf("grid: %d methodology sets, %d pair cells\n",
+				len(g.Methodology), len(g.Pairs))
+		}
+	}
+}
+
+// BenchmarkSuiteGridSequential is the same grid pinned to one worker,
+// for measuring the runner's parallel speedup (compare against
+// BenchmarkSuiteGridParallel).
+func BenchmarkSuiteGridSequential(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Seconds = 8
+	cfg.MaxInstances = 2
+	cfg.Parallel = 1
+	for i := 0; i < b.N; i++ {
+		core.RunSuiteGrid(cfg)
+	}
+}

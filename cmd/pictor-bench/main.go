@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	pictor-bench -exp fig10 [-seconds 60] [-seed 1]
+//	pictor-bench -exp fig10 [-seconds 60] [-seed 1] [-parallel 8] [-reps 3]
+//	pictor-bench -exp grid
 //	pictor-bench -exp all
 //
 // Experiment ids: tab2 tab3 tab4 fig6 fig7 overhead fig8 fig9 fig10
 // fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
-// fig22.
+// fig22 grid. "grid" runs the complete evaluation as one flat trial
+// grid on the parallel experiment runner.
 package main
 
 import (
@@ -16,25 +18,34 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pictor/internal/agent"
 	"pictor/internal/app"
 	"pictor/internal/core"
+	"pictor/internal/exp"
 	"pictor/internal/sim"
 	"pictor/internal/trace"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (tab2, tab3, tab4, fig6..fig22, overhead) or 'all'")
+	expID := flag.String("exp", "all", "experiment id (tab2, tab3, tab4, fig6..fig22, overhead, grid) or 'all'")
 	seconds := flag.Float64("seconds", 45, "measurement window (simulated seconds)")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "simulation seed (0 switches to per-trial derived seeds)")
 	instances := flag.Int("max-instances", 4, "sweep upper bound for figs 10–17")
+	parallel := flag.Int("parallel", 0, "experiment-runner workers (0 = all cores); applies to batched experiments (grid, sweeps, multi-trial figures) and across -reps")
+	reps := flag.Int("reps", 1, "repetitions per trial with derived seeds")
 	flag.Parse()
 
 	cfg := core.DefaultExperimentConfig()
 	cfg.Seconds = *seconds
 	cfg.Seed = *seed
 	cfg.MaxInstances = *instances
+	if cfg.MaxInstances < 1 {
+		cfg.MaxInstances = 1
+	}
+	cfg.Parallel = *parallel
+	cfg.Reps = *reps
 
 	all := map[string]func(core.ExperimentConfig){
 		"tab2": tab2, "tab3": tab3, "tab4": tab4,
@@ -42,13 +53,13 @@ func main() {
 		"fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
 		"fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
 		"fig16": fig16, "fig17": fig17, "fig18": fig18, "fig19": fig19,
-		"fig20": fig20, "fig21": fig21, "fig22": fig22,
+		"fig20": fig20, "fig21": fig21, "fig22": fig22, "grid": grid,
 	}
 	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22"}
 
-	id := strings.ToLower(*exp)
+	id := strings.ToLower(*expID)
 	if id == "all" {
 		for _, e := range order {
 			banner(e)
@@ -129,7 +140,7 @@ func overhead(cfg core.ExperimentConfig) {
 
 func fig8(cfg core.ExperimentConfig) {
 	for _, prof := range app.Suite() {
-		r := core.RunCharacterization(prof, 1, core.HumanDriver(), cfg)[0]
+		r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 		fmt.Printf("%-4s app CPU %5.0f%%  VNC CPU %5.0f%%  GPU %4.1f%%  mem %4.0fMB  gpuMem %3.0fMB\n",
 			r.Benchmark, r.AppCPUUtil, r.VNCCPUUtil, r.GPUUtil, r.FootprintMB, r.GPUMemoryMB)
 	}
@@ -137,7 +148,7 @@ func fig8(cfg core.ExperimentConfig) {
 
 func fig9(cfg core.ExperimentConfig) {
 	for _, prof := range app.Suite() {
-		r := core.RunCharacterization(prof, 1, core.HumanDriver(), cfg)[0]
+		r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 		fmt.Printf("%-4s net %4.0f Mbps down / %4.1f up   PCIe %6.1f MB/s from-GPU / %6.1f to-GPU\n",
 			r.Benchmark, r.NetDownMbps, r.NetUpMbps, r.PCIeFromGPU, r.PCIeToGPU)
 	}
@@ -146,9 +157,9 @@ func fig9(cfg core.ExperimentConfig) {
 func sweepPrint(cfg core.ExperimentConfig, format func(r core.InstanceResult) string) {
 	for _, prof := range app.Suite() {
 		fmt.Printf("%-4s", prof.Name)
-		for n := 1; n <= cfg.MaxInstances; n++ {
-			r := core.RunCharacterization(prof, n, core.HumanDriver(), cfg)[0]
-			fmt.Printf("  [%d] %s", n, format(r))
+		rs, _ := core.RunCharacterizationSweep(prof, cfg.MaxInstances, exp.DriverHuman, cfg)
+		for n, r := range rs {
+			fmt.Printf("  [%d] %s", n+1, format(r[0]))
 		}
 		fmt.Println()
 	}
@@ -207,13 +218,13 @@ func fig17(cfg core.ExperimentConfig) {
 	for _, prof := range app.Suite() {
 		fmt.Printf("%-4s", prof.Name)
 		var first float64
-		for n := 1; n <= cfg.MaxInstances; n++ {
-			_, watts := core.RunCharacterizationWithPower(prof, n, core.HumanDriver(), cfg)
-			per := watts / float64(n)
-			if n == 1 {
+		_, watts := core.RunCharacterizationSweep(prof, cfg.MaxInstances, exp.DriverHuman, cfg)
+		for i, w := range watts {
+			per := w / float64(i+1)
+			if i == 0 {
 				first = per
 			}
-			fmt.Printf("  [%d] %5.1fW (%+5.1f%%)", n, per, (per-first)/first*100)
+			fmt.Printf("  [%d] %5.1fW (%+5.1f%%)", i+1, per, (per-first)/first*100)
 		}
 		fmt.Println()
 	}
@@ -235,7 +246,7 @@ func fig18(cfg core.ExperimentConfig) {
 
 func fig19(cfg core.ExperimentConfig) {
 	d2 := app.D2()
-	solo := core.RunCharacterization(d2, 1, core.HumanDriver(), cfg)[0]
+	solo := core.RunCharacterization(d2, 1, exp.DriverHuman, cfg)[0]
 	for _, prof := range app.Suite() {
 		if prof.Name == d2.Name {
 			continue
@@ -277,4 +288,53 @@ func fig22(cfg core.ExperimentConfig) {
 	}
 	fmt.Printf("avg: server %+.1f%% (paper +57.7%%), client %+.1f%% (paper +7.4%%), RTT %+.1f%% (paper −8.5%%)\n",
 		sGain, cGain, -rttRed)
+}
+
+// grid runs the paper's complete evaluation as one flat trial grid on
+// the parallel experiment runner and prints a compact summary of every
+// experiment family.
+func grid(cfg core.ExperimentConfig) {
+	fmt.Printf("running the full suite grid: %d workers, %d rep(s), %gs windows\n",
+		exp.EffectiveParallel(cfg.Parallel), exp.EffectiveReps(cfg.Reps), cfg.Seconds)
+	start := time.Now()
+	g := core.RunSuiteGrid(cfg)
+	elapsed := time.Since(start)
+
+	fmt.Printf("\nmethodology (mean-RTT error vs human):\n")
+	for _, prof := range app.Suite() {
+		rows := g.Methodology[prof.Name]
+		fmt.Printf("  %-4s", prof.Name)
+		for _, r := range rows[1:] {
+			fmt.Printf("  %s %5.1f%%", r.Method, r.ErrVsHuman)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\ncharacterization (client FPS by co-location count):\n")
+	for _, prof := range app.Suite() {
+		fmt.Printf("  %-4s", prof.Name)
+		for n, rs := range g.Characterization[prof.Name] {
+			fmt.Printf("  [%d] %5.1f", n+1, rs[0].ClientFPS)
+		}
+		fmt.Printf("   power/inst [%d]: %.1fW\n", cfg.MaxInstances,
+			g.PowerWatts[prof.Name][cfg.MaxInstances-1]/float64(cfg.MaxInstances))
+	}
+
+	okPairs := 0
+	for _, rs := range g.Pairs {
+		if rs[0].ClientFPS >= 25 && rs[1].ClientFPS >= 25 {
+			okPairs++
+		}
+	}
+	fmt.Printf("\npairs: %d of %d meet 25-FPS QoS for both\n", okPairs, len(g.Pairs))
+
+	fmt.Printf("\nper-benchmark rollups:\n")
+	for _, prof := range app.Suite() {
+		c := g.Container[prof.Name]
+		o := g.Optimization[prof.Name]
+		v := g.Overhead[prof.Name]
+		fmt.Printf("  %-4s container FPS %+5.1f%%   opt server FPS %+6.1f%%   tracing overhead %4.1f%%\n",
+			prof.Name, c.FPSOverheadPct, o.ServerFPSGain, v.OverheadPct)
+	}
+	fmt.Printf("\ngrid complete in %s (wall)\n", elapsed.Round(time.Millisecond))
 }

@@ -1,6 +1,8 @@
 // Colocation: the paper's consolidation question (§5.2) — how many 3D
 // instances can share one server before quality-of-service (25 FPS)
-// collapses, and what it does to latency and power.
+// collapses, and what it does to latency and power. All four
+// co-location counts are submitted as one batch of independent trials,
+// so the experiment runner executes the whole sweep concurrently.
 package main
 
 import (
@@ -12,16 +14,23 @@ import (
 func main() {
 	prof := pictor.SuiteByName("IM") // InMind VR
 	fmt.Printf("co-locating 1–4 instances of %s on one server:\n\n", prof.FullName)
+
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.Seed = 7
+	cfg.Parallel = 0 // 0 = use every core
+
+	trials := make([]pictor.Trial, 4)
+	for n := 1; n <= 4; n++ {
+		trials[n-1] = pictor.HomogeneousTrial(prof, pictor.Human, n)
+		trials[n-1].Warmup, trials[n-1].Measure, trials[n-1].Seed = 3, 25, cfg.Seed
+	}
+	out := pictor.RunTrials(trials, cfg)
+
 	var basePower float64
 	for n := 1; n <= 4; n++ {
-		cluster := pictor.NewCluster(pictor.Options{Seed: 7})
-		for i := 0; i < n; i++ {
-			cluster.AddInstance(pictor.NewInstanceConfig(prof, pictor.HumanDriver()))
-		}
-		cluster.RunSeconds(3, 25)
-		r := cluster.Results()[0]
-		power := cluster.TotalPowerWatts()
-		perInstance := power / float64(n)
+		tr := out[n-1][0]
+		r := tr.Results[0]
+		perInstance := tr.PowerWatts / float64(n)
 		if n == 1 {
 			basePower = perInstance
 		}

@@ -1,0 +1,56 @@
+// Suitegrid: run the paper's complete evaluation — methodology
+// comparison, 1–N co-location sweeps, the 15 co-location pairs,
+// container overhead, frame-copy optimizations and framework overhead,
+// over all six suite benchmarks — as one flat grid of independent
+// trials on the parallel experiment runner.
+//
+// With -reps > 1 every trial repeats under independently derived seeds
+// and the reported numbers are cross-seed aggregates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"pictor"
+)
+
+func main() {
+	parallel := flag.Int("parallel", 0, "worker count (0 = all cores)")
+	reps := flag.Int("reps", 1, "repetitions per trial")
+	seconds := flag.Float64("seconds", 20, "measurement window (simulated seconds)")
+	flag.Parse()
+
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.Seconds = *seconds
+	cfg.Parallel = *parallel
+	cfg.Reps = *reps
+	cfg.MaxInstances = 4
+
+	fmt.Printf("expanding the full paper grid (%d workers, %d rep(s))...\n",
+		pictor.EffectiveParallel(cfg.Parallel), pictor.EffectiveReps(cfg.Reps))
+	start := time.Now()
+	g := pictor.RunSuiteGrid(cfg)
+	fmt.Printf("grid done in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("benchmark  IC err   4-inst cli-FPS   container FPS   optimized FPS")
+	for _, prof := range pictor.Suite() {
+		m := g.Methodology[prof.Name]
+		char := g.Characterization[prof.Name]
+		fmt.Printf("%-9s %5.1f%%  %14.1f  %13.1f%%  %+13.1f%%\n",
+			prof.Name,
+			m[1].ErrVsHuman, // row 1 is Pictor-IC (row 0 is the human reference)
+			char[len(char)-1][0].ClientFPS,
+			g.Container[prof.Name].FPSOverheadPct,
+			g.Optimization[prof.Name].ServerFPSGain)
+	}
+
+	ok := 0
+	for _, rs := range g.Pairs {
+		if rs[0].ClientFPS >= 25 && rs[1].ClientFPS >= 25 {
+			ok++
+		}
+	}
+	fmt.Printf("\nco-location: %d of %d pairs meet 25-FPS QoS for both (paper: 11 of 15)\n", ok, len(g.Pairs))
+}

@@ -1,0 +1,3 @@
+module pictor
+
+go 1.22

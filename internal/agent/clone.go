@@ -1,0 +1,34 @@
+package agent
+
+import "pictor/internal/nn"
+
+// Clone returns an independent copy of the trained networks: same
+// weights, fresh inference state. The experiment runner executes many
+// trials concurrently against one per-benchmark trained model, and
+// inference mutates the networks (the LSTM carries recurrent state,
+// feed-forward layers cache activations), so every simulated client
+// must own its own copy for runs to be race-free and byte-identical at
+// any parallelism level.
+func (m *Models) Clone() *Models {
+	conv := m.conv.Clone()
+	pool := m.pool.Clone()
+	c := &Models{
+		conv: conv,
+		pool: pool,
+		lstm: m.lstm.Clone(),
+		head: m.head.Clone(),
+	}
+	layers := make([]nn.Layer, len(m.cnn.Layers))
+	for i, l := range m.cnn.Layers {
+		switch {
+		case l == nn.Layer(m.conv):
+			layers[i] = conv
+		case l == nn.Layer(m.pool):
+			layers[i] = pool
+		default:
+			layers[i] = nn.CloneLayer(l)
+		}
+	}
+	c.cnn = &nn.Sequential{Layers: layers}
+	return c
+}

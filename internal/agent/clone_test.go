@@ -1,0 +1,57 @@
+package agent
+
+import (
+	"math/rand"
+	"testing"
+
+	"pictor/internal/scene"
+)
+
+func TestModelsCloneMatchesAndIsolates(t *testing.T) {
+	m := NewModels(11)
+	c := m.Clone()
+
+	rng := rand.New(rand.NewSource(3))
+	pixels := make([]float64, scene.FrameW*scene.FrameH)
+	for i := range pixels {
+		pixels[i] = rng.Float64()
+	}
+
+	// Same weights → same detections.
+	da := m.Detect(pixels)
+	db := c.Detect(pixels)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("clone detection diverges at cell %d: %v vs %v", i, da[i], db[i])
+		}
+	}
+
+	// Same LSTM trajectory from reset state.
+	m.ResetState()
+	c.ResetState()
+	for step := 0; step < 4; step++ {
+		la := m.NextActionLogits(da)
+		lb := c.NextActionLogits(db)
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("clone logits diverge at step %d", step)
+			}
+		}
+	}
+
+	// Advancing the clone's recurrent state must not leak into the
+	// original: a fresh client resetting one model must not be able to
+	// perturb another client's session.
+	m.ResetState()
+	c.ResetState()
+	refFirst := m.NextActionLogits(da)
+	c.NextActionLogits(db)
+	c.NextActionLogits(db)
+	m.ResetState()
+	again := m.NextActionLogits(da)
+	for i := range refFirst {
+		if refFirst[i] != again[i] {
+			t.Fatal("original's state was perturbed by the clone")
+		}
+	}
+}

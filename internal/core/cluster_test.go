@@ -6,6 +6,7 @@ import (
 	"pictor/internal/app"
 	"pictor/internal/sim"
 	"pictor/internal/trace"
+	"pictor/internal/vgl"
 )
 
 // runSingle runs one human-driven instance for a short window.
@@ -122,7 +123,7 @@ func TestOptimizationsRaiseServerFPS(t *testing.T) {
 		cl := NewCluster(Options{Seed: 11})
 		cfg := NewInstanceConfig(app.STK(), HumanDriver())
 		if opt {
-			cfg.Interposer = optimizedInterposer()
+			cfg.Interposer = vgl.Optimized()
 		}
 		cl.AddInstance(cfg)
 		cl.Run(sim.DurationOfSeconds(2), sim.DurationOfSeconds(8))
@@ -143,7 +144,7 @@ func TestOptimizationsRaiseServerFPS(t *testing.T) {
 func TestMemoizationCollapsesAttrCalls(t *testing.T) {
 	cl := NewCluster(Options{Seed: 12})
 	cfg := NewInstanceConfig(app.IM(), HumanDriver())
-	cfg.Interposer = optimizedInterposer()
+	cfg.Interposer = vgl.Optimized()
 	cl.AddInstance(cfg)
 	cl.Run(sim.DurationOfSeconds(1), sim.DurationOfSeconds(5))
 	r := cl.Instances[0].Result()

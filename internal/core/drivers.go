@@ -17,10 +17,13 @@ func HumanDriver() DriverFactory {
 	}
 }
 
-// ICDriver returns the intelligent-client factory around trained models.
+// ICDriver returns the intelligent-client factory around trained
+// models. Every client gets its own clone of the networks: inference
+// mutates them (LSTM state, activation caches), and the experiment
+// runner drives many instances concurrently against one trained model.
 func ICDriver(models *agent.Models) DriverFactory {
 	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
-		return agent.NewIntelligentClient(k, rng, prof, models)
+		return agent.NewIntelligentClient(k, rng, prof, models.Clone())
 	}
 }
 
@@ -36,10 +39,10 @@ func DeskBenchDriver(rec *agent.Recording, frameGap sim.Duration, threshold floa
 }
 
 // SlowMotionDriver returns an IC paced one-input-at-a-time (use with
-// app.ModeSlowMotion).
+// app.ModeSlowMotion). Like ICDriver, each client clones the models.
 func SlowMotionDriver(models *agent.Models) DriverFactory {
 	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
-		ic := agent.NewIntelligentClient(k, rng, prof, models)
+		ic := agent.NewIntelligentClient(k, rng, prof, models.Clone())
 		return baselines.NewSlowMotionPacer(k, ic)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pictor/internal/app"
+	"pictor/internal/exp"
 )
 
 func TestRunPairProducesBothResults(t *testing.T) {
@@ -45,11 +46,11 @@ func TestRunContainerOverheadBounded(t *testing.T) {
 
 func TestRunCharacterizationCounts(t *testing.T) {
 	cfg := QuickExperimentConfig()
-	rs := RunCharacterization(app.IM(), 2, HumanDriver(), cfg)
+	rs := RunCharacterization(app.IM(), 2, exp.DriverHuman, cfg)
 	if len(rs) != 2 {
 		t.Fatalf("got %d results for 2 instances", len(rs))
 	}
-	_, watts := RunCharacterizationWithPower(app.IM(), 2, HumanDriver(), cfg)
+	_, watts := RunCharacterizationWithPower(app.IM(), 2, exp.DriverHuman, cfg)
 	if watts <= 0 {
 		t.Fatal("no power measured")
 	}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pictor/internal/app"
+	"pictor/internal/exp"
+)
+
+// TestExperimentsDeterministicAcrossParallelism: the same experiments
+// at -parallel 1 and -parallel 8 with the same seed must produce
+// byte-identical results — the runner's central guarantee. Table-driven
+// over two suite profiles, with repetitions on so derived seeds are
+// exercised too. Outside -short mode the methodology family also runs,
+// covering the riskiest path: concurrent trials driving per-client
+// clones of the shared trained models.
+func TestExperimentsDeterministicAcrossParallelism(t *testing.T) {
+	for _, prof := range []app.Profile{app.STK(), app.RE()} {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			base := QuickExperimentConfig()
+			base.WarmupSeconds, base.Seconds = 1, 5
+			base.Reps = 2
+
+			render := func(parallel int) string {
+				cfg := base
+				cfg.Parallel = parallel
+				var sb strings.Builder
+				fmt.Fprintf(&sb, "char=%+v\n", RunCharacterization(prof, 2, exp.DriverHuman, cfg))
+				ra, rb := RunPair(prof, app.ZeroAD(), cfg)
+				fmt.Fprintf(&sb, "pair=%+v|%+v\n", ra, rb)
+				fmt.Fprintf(&sb, "opt=%+v\n", RunOptimization(prof, cfg))
+				fmt.Fprintf(&sb, "cont=%+v\n", RunContainerOverhead(prof, cfg))
+				if !testing.Short() {
+					fmt.Fprintf(&sb, "method=%+v\n", RunMethodologyComparison(prof, cfg))
+				}
+				return sb.String()
+			}
+
+			seq := render(1)
+			par := render(8)
+			if seq != par {
+				t.Fatalf("parallel run diverged from sequential run:\n--- parallel 1 ---\n%s\n--- parallel 8 ---\n%s", seq, par)
+			}
+		})
+	}
+}
+
+// TestRunTrialsRepsDeriveDistinctSeeds: repetitions of one trial must
+// run under different seeds (and therefore measure different noise),
+// while rep 0 keeps the pinned legacy seed.
+func TestRunTrialsRepsDeriveDistinctSeeds(t *testing.T) {
+	cfg := QuickExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 4
+	cfg.Reps = 3
+	tr := cfg.trial(exp.InstanceSpec{Profile: app.IM(), Driver: exp.DriverHuman})
+	reps := RunTrials([]exp.Trial{tr}, cfg)[0]
+	if len(reps) != 3 {
+		t.Fatalf("got %d reps, want 3", len(reps))
+	}
+	if reps[0].Seed != cfg.Seed {
+		t.Fatalf("rep 0 seed = %d, want pinned %d", reps[0].Seed, cfg.Seed)
+	}
+	seen := map[int64]bool{}
+	for _, r := range reps {
+		if seen[r.Seed] {
+			t.Fatalf("duplicate rep seed %d", r.Seed)
+		}
+		seen[r.Seed] = true
+		if r.Results[0].ServerFPS <= 0 {
+			t.Fatal("repetition produced no frames")
+		}
+	}
+}
+
+// TestRunSuiteGridShape executes a reduced full grid and checks that
+// every experiment family is populated and that trials shared between
+// families (the single-instance human baseline) were deduplicated —
+// observable as exactly equal numbers.
+func TestRunSuiteGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models for all six benchmarks")
+	}
+	cfg := QuickExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	cfg.MaxInstances = 2
+	g := RunSuiteGrid(cfg)
+
+	suite := app.Suite()
+	if len(g.Methodology) != len(suite) || len(g.Overhead) != len(suite) ||
+		len(g.Container) != len(suite) || len(g.Optimization) != len(suite) {
+		t.Fatalf("grid families incomplete: %d/%d/%d/%d of %d",
+			len(g.Methodology), len(g.Overhead), len(g.Container), len(g.Optimization), len(suite))
+	}
+	if len(g.Pairs) != 15 {
+		t.Fatalf("got %d pairs, want 15", len(g.Pairs))
+	}
+	for _, prof := range suite {
+		char := g.Characterization[prof.Name]
+		if len(char) != cfg.MaxInstances {
+			t.Fatalf("%s: %d characterization counts, want %d", prof.Name, len(char), cfg.MaxInstances)
+		}
+		for n, rs := range char {
+			if len(rs) != n+1 {
+				t.Fatalf("%s: %d results for %d instances", prof.Name, len(rs), n+1)
+			}
+		}
+		if len(g.Methodology[prof.Name]) != 5 {
+			t.Fatalf("%s: %d methodology rows, want 5", prof.Name, len(g.Methodology[prof.Name]))
+		}
+		// The n=1 human characterization, the optimization baseline and
+		// the bare-metal container run are the same trial; key-based
+		// dedup must make them literally identical.
+		solo := char[0][0].ServerFPS
+		if got := g.Optimization[prof.Name].BaseServerFPS; got != solo {
+			t.Fatalf("%s: optimization baseline %.6f != characterization solo %.6f — shared trial not deduplicated",
+				prof.Name, got, solo)
+		}
+		if got := g.Container[prof.Name].BareServerFPS; got != solo {
+			t.Fatalf("%s: container bare %.6f != characterization solo %.6f — shared trial not deduplicated",
+				prof.Name, got, solo)
+		}
+	}
+}

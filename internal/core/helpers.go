@@ -2,11 +2,7 @@ package core
 
 import (
 	"pictor/internal/container"
-	"pictor/internal/vgl"
 )
-
-// optimizedInterposer returns the §6-optimized interposer options.
-func optimizedInterposer() vgl.Options { return vgl.Optimized() }
 
 // dockerOverheads returns the calibrated Docker overhead model.
 func dockerOverheads() container.Overheads { return container.Docker() }

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"pictor/internal/stats"
+)
+
+// Aggregate is one metric summarized across a trial's repetitions.
+type Aggregate struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	// CI95 is the half-width of the 95% confidence interval of the
+	// mean (Student's t for small repetition counts).
+	CI95 float64
+}
+
+// AggregateOf extracts metric from each repetition's result and
+// summarizes it with a confidence interval.
+func AggregateOf[T any](reps []T, metric func(T) float64) Aggregate {
+	var s stats.Sample
+	for _, r := range reps {
+		s.Add(metric(r))
+	}
+	mean, half := s.MeanCI95()
+	return Aggregate{N: s.N(), Mean: mean, StdDev: s.StdDev(), CI95: half}
+}
+
+// MeanOf is AggregateOf when only the mean matters.
+func MeanOf[T any](reps []T, metric func(T) float64) float64 {
+	if len(reps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range reps {
+		sum += metric(r)
+	}
+	return sum / float64(len(reps))
+}
+
+// PoolSummaries merges per-repetition distribution summaries into one:
+// observation counts add, while the mean and each reported quantile are
+// averaged across repetitions (the standard quantile-averaging
+// estimator for repeated independent runs).
+func PoolSummaries(ss []stats.Summary) stats.Summary {
+	if len(ss) == 0 {
+		return stats.Summary{}
+	}
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	var out stats.Summary
+	inv := 1 / float64(len(ss))
+	for _, s := range ss {
+		out.N += s.N
+		out.Mean += s.Mean * inv
+		out.P1 += s.P1 * inv
+		out.P25 += s.P25 * inv
+		out.P75 += s.P75 * inv
+		out.P99 += s.P99 * inv
+	}
+	return out
+}

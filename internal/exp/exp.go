@@ -1,0 +1,164 @@
+// Package exp is Pictor's experiment engine: a declarative trial
+// specification plus a parallel runner.
+//
+// The paper's evaluation is a large grid of independent benchmark
+// sessions — every figure and table is some slice of {benchmark ×
+// driver × instance count × interposer × container × tracing} — and
+// each session owns a private simulation kernel and seeded RNG, so the
+// grid is embarrassingly parallel. This package turns "an experiment"
+// into data: a Trial says *what* to run, the Runner decides *how* —
+// sharding trials across a worker pool, deriving a deterministic seed
+// for every (trial, repetition) unit, and collecting results in input
+// order so output is byte-identical at any parallelism level.
+//
+// The package deliberately does not know how to build a cluster: the
+// executor is injected (see internal/core.ExecuteTrial), which keeps
+// exp a leaf that the assembly layer can depend on.
+package exp
+
+import (
+	"fmt"
+
+	"pictor/internal/app"
+	"pictor/internal/vgl"
+)
+
+// DriverKind names a client driver declaratively, so a Trial can be
+// pure data. The executor maps kinds onto concrete drivers (and trains
+// the intelligent client's models on first use).
+type DriverKind int
+
+const (
+	// DriverNone leaves the instance undriven (no inputs).
+	DriverNone DriverKind = iota
+	// DriverHuman is the reference human policy.
+	DriverHuman
+	// DriverIC is Pictor's CNN+LSTM intelligent client.
+	DriverIC
+	// DriverDeskBench replays a recorded human session (record-replay
+	// baseline).
+	DriverDeskBench
+	// DriverSlowMotion paces the intelligent client one input at a time
+	// (use with app.ModeSlowMotion).
+	DriverSlowMotion
+)
+
+// String implements fmt.Stringer for labels and trial keys.
+func (d DriverKind) String() string {
+	switch d {
+	case DriverNone:
+		return "none"
+	case DriverHuman:
+		return "human"
+	case DriverIC:
+		return "ic"
+	case DriverDeskBench:
+		return "deskbench"
+	case DriverSlowMotion:
+		return "slowmotion"
+	}
+	return fmt.Sprintf("driver(%d)", int(d))
+}
+
+// InstanceSpec describes one benchmark instance of a trial.
+type InstanceSpec struct {
+	Profile app.Profile
+	Driver  DriverKind
+	// Mode selects the pipeline discipline (normal vs slow-motion).
+	Mode app.Mode
+	// TracingOff disables the analysis framework (the zero value keeps
+	// it on, matching the standard setup).
+	TracingOff bool
+	// Interposer selects frame-copy behaviour. The zero value means
+	// "the baseline default" (vgl.DefaultOptions), so specs stay
+	// terse; a partially-set value (e.g. only optimization flags)
+	// inherits the baseline's cost parameters — see
+	// CanonicalInterposer. Note QueryDoubleBuffer is taken literally
+	// on any nonzero value: set it explicitly when customizing.
+	Interposer vgl.Options
+	// Containerized wraps the instance in the Docker-like overhead
+	// model.
+	Containerized bool
+}
+
+// Trial is one independent benchmark session: some instances co-located
+// on one simulated server, run for Warmup+Measure seconds.
+type Trial struct {
+	// ID is a human label for reports; Key() identifies the spec.
+	ID        string
+	Instances []InstanceSpec
+	// Warmup and Measure are simulated seconds (warmup is discarded).
+	Warmup  float64
+	Measure float64
+	// Seed, when nonzero, pins the first repetition's cluster seed
+	// (legacy single-run experiments do this so numbers match the
+	// sequential implementation exactly). Further repetitions, and
+	// trials with Seed == 0, use DeriveSeed — note 0 therefore means
+	// "derive", not "cluster seed zero".
+	Seed int64
+	// KeepSystem asks the executor to retain the executed system in
+	// the trial's result (for estimators that re-read raw traces).
+	// Off by default so a large grid only holds measurement snapshots,
+	// not every simulated machine. Not part of Key(): retention does
+	// not affect the trial's outcome.
+	KeepSystem bool
+}
+
+// Single is a one-instance trial with the standard setup.
+func Single(prof app.Profile, d DriverKind) Trial {
+	return Trial{Instances: []InstanceSpec{{Profile: prof, Driver: d}}}
+}
+
+// Homogeneous co-locates n identical instances (the §5.2 sweeps).
+func Homogeneous(prof app.Profile, d DriverKind, n int) Trial {
+	t := Trial{Instances: make([]InstanceSpec, n)}
+	for i := range t.Instances {
+		t.Instances[i] = InstanceSpec{Profile: prof, Driver: d}
+	}
+	return t
+}
+
+// Pair co-locates two (possibly different) human-driven benchmarks
+// (the §5.3 co-location matrix).
+func Pair(a, b app.Profile) Trial {
+	return Trial{Instances: []InstanceSpec{
+		{Profile: a, Driver: DriverHuman},
+		{Profile: b, Driver: DriverHuman},
+	}}
+}
+
+// CanonicalInterposer resolves a spec's interposer options to what the
+// executor actually runs: the zero value is the baseline default, and
+// a partially-set value (optimization flags without cost parameters)
+// inherits the baseline's nonzero copy costs — zero costs would
+// silently make frame copies free and inflate every FPS/RTT result.
+func CanonicalInterposer(o vgl.Options) vgl.Options {
+	if o == (vgl.Options{}) {
+		return vgl.DefaultOptions()
+	}
+	def := vgl.DefaultOptions()
+	if o.MemcpyMsPerMB <= 0 {
+		o.MemcpyMsPerMB = def.MemcpyMsPerMB
+	}
+	if o.ReadDriverMs <= 0 {
+		o.ReadDriverMs = def.ReadDriverMs
+	}
+	return o
+}
+
+// Key serializes everything that affects a trial's outcome into a
+// stable string. Equal keys mean equal trials: grid builders use keys
+// to deduplicate shared baselines, and the runner hashes the key into
+// the per-repetition seed, so a trial's seeds do not change when
+// unrelated trials are added to or removed from a grid. Interposer
+// options are serialized in canonical (as-executed) form, so a terse
+// spec and an explicit-default spec share a key.
+func (t Trial) Key() string {
+	key := fmt.Sprintf("w=%g;m=%g;s=%d", t.Warmup, t.Measure, t.Seed)
+	for _, is := range t.Instances {
+		key += fmt.Sprintf("|%s:%s:mode=%d:troff=%t:ip=%+v:ct=%t",
+			is.Profile.Name, is.Driver, int(is.Mode), is.TracingOff,
+			CanonicalInterposer(is.Interposer), is.Containerized)
+	}
+	return key
+}

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"pictor/internal/app"
+	"pictor/internal/stats"
+	"pictor/internal/vgl"
+)
+
+func TestDeriveSeedStable(t *testing.T) {
+	a := DeriveSeed(1, "trial-key", 0)
+	for i := 0; i < 100; i++ {
+		if got := DeriveSeed(1, "trial-key", 0); got != a {
+			t.Fatalf("DeriveSeed not stable: %d vs %d", got, a)
+		}
+	}
+	if DeriveSeed(2, "trial-key", 0) == a {
+		t.Fatal("base seed does not influence derived seed")
+	}
+	if DeriveSeed(1, "other-key", 0) == a {
+		t.Fatal("trial key does not influence derived seed")
+	}
+	if DeriveSeed(1, "trial-key", 1) == a {
+		t.Fatal("repetition does not influence derived seed")
+	}
+}
+
+// TestDeriveSeedCollisionFree derives a seed for every (trial, rep)
+// unit of a full-suite grid — every benchmark × driver × instance
+// count × rep — and requires them all distinct.
+func TestDeriveSeedCollisionFree(t *testing.T) {
+	seen := map[int64]string{}
+	checked := 0
+	for _, prof := range app.Suite() {
+		for _, d := range []DriverKind{DriverHuman, DriverIC, DriverDeskBench, DriverSlowMotion} {
+			for n := 1; n <= 4; n++ {
+				tr := Homogeneous(prof, d, n)
+				tr.Warmup, tr.Measure = 3, 60
+				for rep := 0; rep < 5; rep++ {
+					s := DeriveSeed(1, tr.Key(), rep)
+					id := fmt.Sprintf("%s/%s/n=%d/rep=%d", prof.Name, d, n, rep)
+					if prev, dup := seen[s]; dup {
+						t.Fatalf("seed collision: %s and %s both derive %d", prev, id, s)
+					}
+					seen[s] = id
+					checked++
+				}
+			}
+		}
+	}
+	if checked != 6*4*4*5 {
+		t.Fatalf("grid expansion wrong: checked %d units", checked)
+	}
+}
+
+func TestUnitSeedPinsFirstRep(t *testing.T) {
+	tr := Single(app.STK(), DriverHuman)
+	tr.Seed = 42
+	if got := UnitSeed(tr, 0, 1); got != 42 {
+		t.Fatalf("rep 0 of a pinned trial must use the pinned seed, got %d", got)
+	}
+	if got := UnitSeed(tr, 1, 1); got == 42 {
+		t.Fatal("rep 1 must derive a fresh seed")
+	}
+	// Derivation for later reps keys off the trial's own seed, not the
+	// grid base, so a pinned trial is self-contained.
+	if UnitSeed(tr, 1, 1) != UnitSeed(tr, 1, 99) {
+		t.Fatal("pinned trial's later reps must not depend on the grid base seed")
+	}
+}
+
+func TestTrialKeyDistinguishesSpecs(t *testing.T) {
+	base := Single(app.STK(), DriverHuman)
+	variants := []Trial{
+		Single(app.STK(), DriverIC),
+		Single(app.RE(), DriverHuman),
+		Homogeneous(app.STK(), DriverHuman, 2),
+		Pair(app.STK(), app.RE()),
+	}
+	tracingOff := Single(app.STK(), DriverHuman)
+	tracingOff.Instances[0].TracingOff = true
+	variants = append(variants, tracingOff)
+	containerized := Single(app.STK(), DriverHuman)
+	containerized.Instances[0].Containerized = true
+	variants = append(variants, containerized)
+	longer := Single(app.STK(), DriverHuman)
+	longer.Measure = 120
+	variants = append(variants, longer)
+
+	keys := map[string]bool{base.Key(): true}
+	for i, v := range variants {
+		k := v.Key()
+		if keys[k] {
+			t.Fatalf("variant %d has a non-unique key %q", i, k)
+		}
+		keys[k] = true
+	}
+	if base.Key() != Single(app.STK(), DriverHuman).Key() {
+		t.Fatal("identical specs must have identical keys")
+	}
+}
+
+// TestRunOrderedAndComplete runs a grid on several workers and checks
+// every unit executed exactly once, with results landing at the right
+// [trial][rep] index and with the documented seeds.
+func TestRunOrderedAndComplete(t *testing.T) {
+	trials := make([]Trial, 7)
+	for i := range trials {
+		trials[i] = Single(app.STK(), DriverHuman)
+		trials[i].Measure = float64(i + 1) // distinct keys
+	}
+	opts := RunOptions{Parallel: 4, Reps: 3, BaseSeed: 9}
+	var calls atomic.Int64
+	type res struct {
+		TrialIndex, Rep int
+		Seed            int64
+	}
+	out := Run(trials, func(tr Trial, u Unit) res {
+		calls.Add(1)
+		return res{u.TrialIndex, u.Rep, u.Seed}
+	}, opts)
+	if got := calls.Load(); got != int64(len(trials)*3) {
+		t.Fatalf("executed %d units, want %d", got, len(trials)*3)
+	}
+	for ti := range trials {
+		for rep := 0; rep < 3; rep++ {
+			got := out[ti][rep]
+			want := res{ti, rep, UnitSeed(trials[ti], rep, 9)}
+			if got != want {
+				t.Fatalf("out[%d][%d] = %+v, want %+v", ti, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestRunParallelismInvariant: the collected result grid must be
+// identical at parallel 1 and parallel 8.
+func TestRunParallelismInvariant(t *testing.T) {
+	trials := []Trial{
+		Single(app.STK(), DriverHuman),
+		Homogeneous(app.RE(), DriverHuman, 3),
+		Pair(app.STK(), app.RE()),
+	}
+	exec := func(tr Trial, u Unit) string {
+		return fmt.Sprintf("%s@%d", tr.Key(), u.Seed)
+	}
+	seq := Run(trials, exec, RunOptions{Parallel: 1, Reps: 4, BaseSeed: 3})
+	par := Run(trials, exec, RunOptions{Parallel: 8, Reps: 4, BaseSeed: 3})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel run diverged:\nseq: %v\npar: %v", seq, par)
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+	}()
+	trials := []Trial{Single(app.STK(), DriverHuman), Single(app.RE(), DriverHuman)}
+	Run(trials, func(tr Trial, u Unit) int { panic("boom") },
+		RunOptions{Parallel: 2})
+}
+
+func TestAggregateOf(t *testing.T) {
+	reps := []float64{10, 12, 14}
+	a := AggregateOf(reps, func(x float64) float64 { return x })
+	if a.N != 3 || a.Mean != 12 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	if a.CI95 <= 0 {
+		t.Fatal("repetitions must yield a confidence interval")
+	}
+	one := AggregateOf(reps[:1], func(x float64) float64 { return x })
+	if one.CI95 != 0 {
+		t.Fatal("single repetition cannot have a confidence interval")
+	}
+}
+
+func TestPoolSummaries(t *testing.T) {
+	a := stats.Summary{N: 10, Mean: 5, P1: 1, P25: 2, P75: 8, P99: 9}
+	b := stats.Summary{N: 30, Mean: 7, P1: 3, P25: 4, P75: 10, P99: 11}
+	got := PoolSummaries([]stats.Summary{a, b})
+	if got.N != 40 || got.Mean != 6 || got.P1 != 2 || got.P99 != 10 {
+		t.Fatalf("pooled = %+v", got)
+	}
+	if one := PoolSummaries([]stats.Summary{a}); one != a {
+		t.Fatal("pooling one summary must be the identity")
+	}
+}
+
+func TestCanonicalInterposer(t *testing.T) {
+	if got := CanonicalInterposer(vgl.Options{}); got != vgl.DefaultOptions() {
+		t.Fatalf("zero options must resolve to the baseline default, got %+v", got)
+	}
+	// Partially-set options (flags without cost parameters) must
+	// inherit the baseline's copy costs, not run with free copies.
+	partial := CanonicalInterposer(vgl.Options{MemoizeAttributes: true})
+	def := vgl.DefaultOptions()
+	if partial.MemcpyMsPerMB != def.MemcpyMsPerMB || partial.ReadDriverMs != def.ReadDriverMs {
+		t.Fatalf("partial options lost the cost model: %+v", partial)
+	}
+	if !partial.MemoizeAttributes || partial.AsyncCopy {
+		t.Fatalf("partial options lost their flags: %+v", partial)
+	}
+	// QueryDoubleBuffer is taken literally on nonzero input.
+	if partial.QueryDoubleBuffer {
+		t.Fatal("bool fields must not be defaulted on a nonzero struct")
+	}
+	// Explicitly-set costs pass through untouched.
+	custom := vgl.DefaultOptions()
+	custom.MemcpyMsPerMB = 0.9
+	if got := CanonicalInterposer(custom); got != custom {
+		t.Fatalf("explicit options were rewritten: %+v", got)
+	}
+}

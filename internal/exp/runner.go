@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunOptions configures how a grid of trials is executed.
+type RunOptions struct {
+	// Parallel is the worker count; <= 0 means runtime.GOMAXPROCS(0).
+	Parallel int
+	// Reps is how many repetitions (independent seeds) to run per
+	// trial; <= 0 means 1.
+	Reps int
+	// BaseSeed is the grid's base seed, mixed into every derived seed.
+	BaseSeed int64
+}
+
+// EffectiveParallel resolves a worker-count setting the way Run does:
+// <= 0 means every available core. Exported so CLIs and examples can
+// report what the runner will actually do from one source of truth.
+func EffectiveParallel(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// EffectiveReps resolves a repetition setting the way Run does.
+func EffectiveReps(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
+func (o RunOptions) normalize() RunOptions {
+	o.Parallel = EffectiveParallel(o.Parallel)
+	o.Reps = EffectiveReps(o.Reps)
+	return o
+}
+
+// Unit identifies one execution of one trial: the repetition index and
+// the seed the executor must build its cluster with.
+type Unit struct {
+	TrialIndex int
+	Rep        int
+	Seed       int64
+}
+
+// UnitSeed resolves the seed for repetition rep of trial t: a pinned
+// Trial.Seed wins for the first repetition (legacy single-run
+// compatibility); everything else derives deterministically.
+func UnitSeed(t Trial, rep int, base int64) int64 {
+	if rep == 0 && t.Seed != 0 {
+		return t.Seed
+	}
+	if t.Seed != 0 {
+		base = t.Seed
+	}
+	return DeriveSeed(base, t.Key(), rep)
+}
+
+// Run executes every (trial, repetition) unit of the grid on a worker
+// pool and returns results indexed [trial][rep], in input order
+// regardless of scheduling. Each unit gets a deterministic seed via
+// UnitSeed, so results are byte-identical at any parallelism level as
+// long as exec is a pure function of (Trial, Unit).
+//
+// exec runs concurrently from multiple goroutines; a panicking exec
+// stops the run and the panic is re-raised on the caller's goroutine.
+func Run[T any](trials []Trial, exec func(Trial, Unit) T, opts RunOptions) [][]T {
+	opts = opts.normalize()
+
+	type unitRef struct {
+		trial, rep int
+	}
+	units := make([]unitRef, 0, len(trials)*opts.Reps)
+	for ti := range trials {
+		for r := 0; r < opts.Reps; r++ {
+			units = append(units, unitRef{ti, r})
+		}
+	}
+
+	out := make([][]T, len(trials))
+	for i := range out {
+		out[i] = make([]T, opts.Reps)
+	}
+	if len(units) == 0 {
+		return out
+	}
+
+	workers := opts.Parallel
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					// Drain remaining work so the feeder can finish.
+					for range idxCh {
+					}
+				}
+			}()
+			for i := range idxCh {
+				u := units[i]
+				t := trials[u.trial]
+				out[u.trial][u.rep] = exec(t, Unit{
+					TrialIndex: u.trial,
+					Rep:        u.rep,
+					Seed:       UnitSeed(t, u.rep, opts.BaseSeed),
+				})
+			}
+		}()
+	}
+	for i := range units {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	if panicked != nil {
+		// Re-raise the original value so callers can still inspect a
+		// typed panic (stringifying it here would discard the type).
+		panic(panicked)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sliceEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSequentialCloneMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := &Sequential{Layers: []Layer{
+		NewDense(16, 8, rng),
+		&ReLU{},
+		NewDense(8, 4, rng),
+	}}
+	clone := net.Clone()
+
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if !sliceEq(net.Forward(x), clone.Forward(x)) {
+		t.Fatal("cloned network diverges from original")
+	}
+}
+
+func TestConv2DCloneMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewConv2D(6, 6, 1, 2, 3, rng)
+	x := make([]float64, 36)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if !sliceEq(c.Forward(x), c.Clone().Forward(x)) {
+		t.Fatal("cloned conv diverges from original")
+	}
+}
+
+func TestLSTMCloneIndependentState(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLSTM(4, 6, rng)
+	x := []float64{0.1, -0.2, 0.3, 1}
+
+	// Pollute the original's recurrent state, then clone: the clone
+	// must start from cleared state.
+	l.Step(x)
+	l.Step(x)
+	clone := l.Clone()
+	l.Reset()
+
+	for i := 0; i < 5; i++ {
+		if !sliceEq(l.Step(x), clone.Step(x)) {
+			t.Fatalf("clone diverges at step %d", i)
+		}
+	}
+
+	// Advancing the clone must not move the original.
+	before := append([]float64(nil), l.h...)
+	clone.Step(x)
+	if !sliceEq(before, l.h) {
+		t.Fatal("stepping the clone mutated the original's state")
+	}
+}

@@ -102,6 +102,8 @@ type Kernel struct {
 	now     Time
 	heap    eventHeap
 	seq     uint64
+	live    int // scheduled events that are not cancelled
+	dead    int // cancelled events still occupying heap slots
 	running bool
 	stopped bool
 }
@@ -112,15 +114,40 @@ func NewKernel() *Kernel { return &Kernel{} }
 // Now reports the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending reports the number of events still scheduled.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, ev := range k.heap {
-		if !ev.dead {
-			n++
-		}
+// Pending reports the number of events still scheduled. O(1): the
+// kernel keeps a live-event counter rather than scanning the heap.
+func (k *Kernel) Pending() int { return k.live }
+
+// compactThreshold is the minimum heap size before cancelled events are
+// compacted away; below it the dead entries are cheaper than the sweep.
+const compactThreshold = 64
+
+// maybeCompact rebuilds the heap without cancelled events once they
+// outnumber the live ones. Long simulations cancel heavily (timeouts,
+// superseded frames); without compaction the heap bloats with corpses
+// that every push/pop still has to sift past.
+func (k *Kernel) maybeCompact() {
+	if len(k.heap) < compactThreshold || k.dead <= k.live {
+		return
 	}
-	return n
+	kept := k.heap[:0]
+	for _, ev := range k.heap {
+		if ev.dead {
+			ev.idx = -1
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	// Clear the tail so dropped events can be collected.
+	for i := len(kept); i < len(k.heap); i++ {
+		k.heap[i] = nil
+	}
+	k.heap = kept
+	for i, ev := range k.heap {
+		ev.idx = i
+	}
+	heap.Init(&k.heap)
+	k.dead = 0
 }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
@@ -135,6 +162,7 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 	ev := &event{at: t, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.heap, ev)
+	k.live++
 	return EventID{ev}
 }
 
@@ -154,6 +182,10 @@ func (k *Kernel) Cancel(id EventID) bool {
 		return false
 	}
 	id.ev.dead = true
+	id.ev.fn = nil // release the closure now; the slot may linger
+	k.live--
+	k.dead++
+	k.maybeCompact()
 	return true
 }
 
@@ -162,8 +194,10 @@ func (k *Kernel) Step() bool {
 	for len(k.heap) > 0 {
 		ev := heap.Pop(&k.heap).(*event)
 		if ev.dead {
+			k.dead--
 			continue
 		}
+		k.live--
 		k.now = ev.at
 		ev.fn()
 		return true
@@ -191,6 +225,7 @@ func (k *Kernel) RunUntil(t Time) {
 		for len(k.heap) > 0 {
 			if k.heap[0].dead {
 				heap.Pop(&k.heap)
+				k.dead--
 				continue
 			}
 			next = k.heap[0]

@@ -215,3 +215,109 @@ func TestDurationOfSeconds(t *testing.T) {
 		t.Fatalf("huge seconds should saturate positive, got %v", got)
 	}
 }
+
+// TestKernelCompaction: cancelling most of a large schedule must shrink
+// the heap (lazy compaction) while preserving the surviving events'
+// order and the live count.
+func TestKernelCompaction(t *testing.T) {
+	k := NewKernel()
+	var ids []EventID
+	for i := 0; i < 10_000; i++ {
+		d := Duration(i+1) * Microsecond
+		if i%10 == 0 {
+			k.After(d, func() {})
+		} else {
+			ids = append(ids, k.After(d, func() {}))
+		}
+	}
+	for _, id := range ids {
+		k.Cancel(id)
+	}
+	if got, want := k.Pending(), 1000; got != want {
+		t.Fatalf("Pending = %d, want %d", got, want)
+	}
+	// Cancelled events must not keep occupying the heap: after 9000
+	// cancels against 1000 live events, compaction has to have run.
+	if n := len(k.heap); n > 2000 {
+		t.Fatalf("heap holds %d slots for 1000 live events — dead events not compacted", n)
+	}
+	k.Run()
+	if got := k.Pending(); got != 0 {
+		t.Fatalf("Pending after run = %d, want 0", got)
+	}
+}
+
+// TestKernelCancelDuringRun: cancelling from inside callbacks keeps the
+// counters exact.
+func TestKernelCancelDuringRun(t *testing.T) {
+	k := NewKernel()
+	var victim EventID
+	ran := 0
+	k.After(Millisecond, func() {
+		ran++
+		k.Cancel(victim)
+	})
+	victim = k.After(2*Millisecond, func() { ran++ })
+	k.After(3*Millisecond, func() { ran++ })
+	k.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", k.Pending())
+	}
+}
+
+// TestKernelOrderSurvivesCompaction: compaction re-heapifies; the
+// surviving events must still run in (time, FIFO) order. Cancelled
+// events outnumber live ones so maybeCompact genuinely fires.
+func TestKernelOrderSurvivesCompaction(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	var ids []EventID
+	for i := 0; i < 250; i++ {
+		i := i
+		k.At(Time(i)*Time(Millisecond), func() { got = append(got, i) })
+		// Eight cancel-fodder events per survivor.
+		for j := 0; j < 8; j++ {
+			ids = append(ids, k.At(Time(i)*Time(Millisecond)+Time(j+1), func() {}))
+		}
+	}
+	// Same-time events to exercise the FIFO tie-break post-Init.
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(Time(Second), func() { got = append(got, 10_000+i) })
+	}
+	heapBefore := len(k.heap)
+	for _, id := range ids {
+		k.Cancel(id)
+	}
+	if len(k.heap) >= heapBefore {
+		t.Fatalf("compaction never fired: heap still %d of %d slots", len(k.heap), heapBefore)
+	}
+	k.Run()
+	if len(got) != 350 {
+		t.Fatalf("ran %d events, want 350", len(got))
+	}
+	for j := 1; j < len(got); j++ {
+		if got[j-1] >= got[j] {
+			t.Fatalf("order violated at %d: %d then %d", j, got[j-1], got[j])
+		}
+	}
+}
+
+func BenchmarkKernelPendingWithManyCancelled(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < 100_000; i++ {
+		id := k.After(Duration(i+1)*Microsecond, func() {})
+		if i%2 == 0 {
+			k.Cancel(id)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k.Pending() != 50_000 {
+			b.Fatal("wrong pending count")
+		}
+	}
+}

@@ -149,6 +149,41 @@ func (m Summary) String() string {
 		m.N, m.Mean, m.P1, m.P25, m.P75, m.P99)
 }
 
+// t95 holds two-sided 95% Student-t quantiles by degrees of freedom
+// (1..30); beyond 30 the normal 1.96 is close enough.
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TQuantile95 reports the two-sided 95% Student-t critical value for
+// the given degrees of freedom.
+func TQuantile95(df int) float64 {
+	if df <= 0 {
+		return 0
+	}
+	if df <= len(t95) {
+		return t95[df-1]
+	}
+	return 1.96
+}
+
+// MeanCI95 reports the sample mean and the half-width of its 95%
+// confidence interval (Student's t on the sample standard deviation).
+// Samples with fewer than two observations have unbounded uncertainty;
+// they report a zero half-width since no interval can be estimated.
+func (s *Sample) MeanCI95() (mean, half float64) {
+	n := len(s.xs)
+	mean = s.Mean()
+	if n < 2 {
+		return mean, 0
+	}
+	// Unbiased (n-1) variance from the population variance.
+	sd := math.Sqrt(s.Variance() * float64(n) / float64(n-1))
+	return mean, TQuantile95(n-1) * sd / math.Sqrt(float64(n))
+}
+
 // PercentError reports |got-want|/want as a percentage. A zero reference
 // with a zero measurement is 0%; a zero reference otherwise is +Inf.
 func PercentError(got, want float64) float64 {

@@ -193,3 +193,37 @@ func TestValuesSortedCopyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMeanCI95(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{10, 12, 14})
+	mean, half := s.MeanCI95()
+	if mean != 12 {
+		t.Fatalf("mean = %v, want 12", mean)
+	}
+	// sd (unbiased) = 2, t(df=2) = 4.303 → half = 4.303*2/sqrt(3) ≈ 4.969
+	if half < 4.9 || half > 5.0 {
+		t.Fatalf("CI half-width = %v, want ≈4.97", half)
+	}
+
+	var one Sample
+	one.Add(5)
+	if _, h := one.MeanCI95(); h != 0 {
+		t.Fatalf("single observation cannot bound the mean, got half-width %v", h)
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	if got := TQuantile95(1); got != 12.706 {
+		t.Fatalf("t(1) = %v", got)
+	}
+	if got := TQuantile95(30); got != 2.042 {
+		t.Fatalf("t(30) = %v", got)
+	}
+	if got := TQuantile95(1000); got != 1.96 {
+		t.Fatalf("t(1000) = %v, want the normal limit", got)
+	}
+	if got := TQuantile95(0); got != 0 {
+		t.Fatalf("t(0) = %v, want 0", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"pictor/internal/app"
 	"pictor/internal/container"
 	"pictor/internal/core"
+	"pictor/internal/exp"
 	"pictor/internal/sim"
 	"pictor/internal/vgl"
 )
@@ -62,10 +63,30 @@ type (
 	ContainerResult = core.ContainerResult
 	// OverheadResult is one §4 framework-overhead row.
 	OverheadResult = core.OverheadResult
-	// ExperimentConfig bounds experiment cost.
+	// ExperimentConfig bounds experiment cost and selects the runner's
+	// parallelism (Parallel) and repetition count (Reps).
 	ExperimentConfig = core.ExperimentConfig
 	// DriverFactory builds a client driver for an instance.
 	DriverFactory = core.DriverFactory
+	// DriverKind names a client driver declaratively for experiment
+	// trials (Human, IC, DeskBench, SlowMotion).
+	DriverKind = exp.DriverKind
+	// Trial is one declarative benchmark session for the runner.
+	Trial = exp.Trial
+	// InstanceSpec describes one benchmark instance of a Trial.
+	InstanceSpec = exp.InstanceSpec
+	// TrialResult is one executed trial's measurement bundle.
+	TrialResult = core.TrialResult
+	// SuiteGridResult is the full paper evaluation in one value.
+	SuiteGridResult = core.SuiteGridResult
+)
+
+// Declarative driver kinds for the experiment entry points.
+const (
+	Human      = exp.DriverHuman
+	IC         = exp.DriverIC
+	DeskBench  = exp.DriverDeskBench
+	SlowMotion = exp.DriverSlowMotion
 )
 
 // Cluster is a simulated cloud rendering server with its clients.
@@ -158,10 +179,64 @@ func RunMethodologyComparison(prof Profile, cfg ExperimentConfig) []MethodologyR
 }
 
 // RunCharacterization runs n co-located instances of a benchmark under
-// the given driver and returns per-instance measurements (§5.1–5.2).
-func RunCharacterization(prof Profile, n int, driver DriverFactory, cfg ExperimentConfig) []InstanceResult {
+// the given driver kind and returns per-instance measurements
+// (§5.1–5.2).
+func RunCharacterization(prof Profile, n int, driver DriverKind, cfg ExperimentConfig) []InstanceResult {
 	return core.RunCharacterization(prof, n, driver, cfg)
 }
+
+// RunCharacterizationWithPower is RunCharacterization plus modelled
+// wall power (Figure 17).
+func RunCharacterizationWithPower(prof Profile, n int, driver DriverKind, cfg ExperimentConfig) ([]InstanceResult, float64) {
+	return core.RunCharacterizationWithPower(prof, n, driver, cfg)
+}
+
+// RunCharacterizationSweep runs the whole 1..maxN co-location sweep
+// as one batch, executed concurrently by the runner. Entry n-1 holds
+// the results of n copies; the second return is wall power per count.
+func RunCharacterizationSweep(prof Profile, maxN int, driver DriverKind, cfg ExperimentConfig) ([][]InstanceResult, []float64) {
+	return core.RunCharacterizationSweep(prof, maxN, driver, cfg)
+}
+
+// RunPair co-locates two (possibly different) benchmarks (§5.3).
+func RunPair(a, b Profile, cfg ExperimentConfig) (ra, rb InstanceResult) {
+	return core.RunPair(a, b, cfg)
+}
+
+// RunSuiteGrid executes the paper's complete evaluation grid — every
+// experiment over every suite benchmark — on the parallel experiment
+// runner. cfg.Parallel shards independent trials across cores;
+// cfg.Reps repeats each with derived seeds.
+func RunSuiteGrid(cfg ExperimentConfig) SuiteGridResult {
+	return core.RunSuiteGrid(cfg)
+}
+
+// RunTrials executes caller-assembled trials on the experiment runner,
+// returning results indexed [trial][rep]. This is the extension point
+// for custom grids beyond the paper's figures. Trials whose Measure is
+// zero (the constructors below leave windows unset) inherit the
+// config's WarmupSeconds/Seconds.
+func RunTrials(trials []Trial, cfg ExperimentConfig) [][]TrialResult {
+	return core.RunTrials(trials, cfg)
+}
+
+// EffectiveParallel resolves a Parallel setting the way the runner
+// does (<= 0 means every available core), for display purposes.
+func EffectiveParallel(n int) int { return exp.EffectiveParallel(n) }
+
+// EffectiveReps resolves a Reps setting the way the runner does.
+func EffectiveReps(n int) int { return exp.EffectiveReps(n) }
+
+// SingleTrial is a one-instance trial with the standard setup.
+func SingleTrial(prof Profile, d DriverKind) Trial { return exp.Single(prof, d) }
+
+// HomogeneousTrial co-locates n identical instances.
+func HomogeneousTrial(prof Profile, d DriverKind, n int) Trial {
+	return exp.Homogeneous(prof, d, n)
+}
+
+// PairTrial co-locates two human-driven benchmarks.
+func PairTrial(a, b Profile) Trial { return exp.Pair(a, b) }
 
 // RunOptimization reproduces Figure 22 for one benchmark.
 func RunOptimization(prof Profile, cfg ExperimentConfig) OptimizationResult {

@@ -93,3 +93,59 @@ func TestInterposerPresets(t *testing.T) {
 		t.Fatal("optimized interposer should have both optimizations on")
 	}
 }
+
+func TestPublicTrialRunner(t *testing.T) {
+	trials := []pictor.Trial{
+		pictor.SingleTrial(pictor.SuiteByName("STK"), pictor.Human),
+		pictor.HomogeneousTrial(pictor.SuiteByName("RE"), pictor.Human, 2),
+		pictor.PairTrial(pictor.SuiteByName("STK"), pictor.SuiteByName("RE")),
+	}
+	// Set windows on all but the first: a trial left at zero Measure
+	// must inherit the config's windows instead of silently measuring
+	// nothing.
+	for i := 1; i < len(trials); i++ {
+		trials[i].Warmup, trials[i].Measure = 1, 5
+	}
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	cfg.Parallel = 4
+	cfg.Reps = 2
+	out := pictor.RunTrials(trials, cfg)
+	if len(out) != 3 {
+		t.Fatalf("got %d trial results, want 3", len(out))
+	}
+	if trials[0].Measure != 0 {
+		t.Fatal("RunTrials mutated the caller's trial slice")
+	}
+	for ti, reps := range out {
+		if len(reps) != 2 {
+			t.Fatalf("trial %d: got %d reps, want 2", ti, len(reps))
+		}
+		for _, r := range reps {
+			if len(r.Results) != len(trials[ti].Instances) {
+				t.Fatalf("trial %d: %d instance results for %d instances",
+					ti, len(r.Results), len(trials[ti].Instances))
+			}
+			for _, ir := range r.Results {
+				if ir.ServerFPS <= 0 {
+					t.Fatalf("trial %d produced no frames", ti)
+				}
+			}
+		}
+		if reps[0].Seed == reps[1].Seed {
+			t.Fatalf("trial %d: repetitions share a seed", ti)
+		}
+	}
+}
+
+func TestPublicCharacterizationDriverKinds(t *testing.T) {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.Seconds = 6
+	rs := pictor.RunCharacterization(pictor.SuiteByName("0AD"), 2, pictor.Human, cfg)
+	if len(rs) != 2 {
+		t.Fatalf("got %d results, want 2", len(rs))
+	}
+	if rs[0].ClientFPS <= 0 || rs[1].ClientFPS <= 0 {
+		t.Fatal("characterization produced no client frames")
+	}
+}
