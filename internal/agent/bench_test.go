@@ -1,0 +1,65 @@
+package agent
+
+import (
+	"testing"
+
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+)
+
+// The intelligent client's per-frame inference: the CNN over all 24
+// grid cells (Detect) plus one LSTM step and the action head. These run
+// on every displayed frame of every IC-driven trial.
+
+func benchFrame() *scene.Frame {
+	d := scene.Dynamics{
+		Kinds:          []scene.Type{scene.Vehicle, scene.Item, scene.Enemy},
+		SpawnProb:      0.05,
+		DespawnProb:    0.04,
+		MoveProb:       0.2,
+		PoseDrift:      0.08,
+		InputStir:      0.4,
+		BaseComplexity: 1.0,
+		ComplexityVar:  0.5,
+		MotionFloor:    0.15,
+	}
+	s := scene.New(d, sim.NewRNG(1))
+	s.Step(scene.ActForward)
+	return s.Render(1, 1920, 1080)
+}
+
+func BenchmarkDetect(b *testing.B) {
+	m := NewModels(1)
+	f := benchFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Detect(f.Pixels)
+	}
+}
+
+func BenchmarkNextActionLogits(b *testing.B) {
+	m := NewModels(1)
+	f := benchFrame()
+	detected := append([]scene.Type(nil), m.Detect(f.Pixels)...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.NextActionLogits(detected)
+	}
+}
+
+// BenchmarkInferenceFrame is the full per-frame client path: detect,
+// features, LSTM, head, softmax sample.
+func BenchmarkInferenceFrame(b *testing.B) {
+	m := NewModels(1)
+	f := benchFrame()
+	rng := sim.NewRNG(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detected := m.Detect(f.Pixels)
+		logits := m.NextActionLogits(detected)
+		SampleAction(logits, rng)
+	}
+}

@@ -44,7 +44,9 @@ func TestModelsCloneMatchesAndIsolates(t *testing.T) {
 	// perturb another client's session.
 	m.ResetState()
 	c.ResetState()
-	refFirst := m.NextActionLogits(da)
+	// NextActionLogits returns model-owned scratch; copy before the next
+	// call on m overwrites it.
+	refFirst := append([]float64(nil), m.NextActionLogits(da)...)
 	c.NextActionLogits(db)
 	c.NextActionLogits(db)
 	m.ResetState()

@@ -40,7 +40,9 @@ func (h *Human) Attach(send func(scene.Action)) { h.send = send }
 // Actions reports how many inputs the human has issued.
 func (h *Human) Actions() int64 { return h.actions }
 
-// OnFrame implements vnc.Driver: maybe act on what is displayed.
+// OnFrame implements vnc.Driver: maybe act on what is displayed. The
+// human perceives the frame synchronously, so it is released before
+// returning (observers copy what they keep).
 func (h *Human) OnFrame(f *scene.Frame) {
 	act := scene.ActNone
 	if h.k.Now() >= h.nextAllowed && h.rng.Bool(h.prof.HumanActProb) {
@@ -49,6 +51,7 @@ func (h *Human) OnFrame(f *scene.Frame) {
 	if h.Observer != nil {
 		h.Observer(f, act)
 	}
+	f.Release()
 	if act == scene.ActNone {
 		return
 	}

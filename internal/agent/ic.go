@@ -56,8 +56,13 @@ func (ic *IntelligentClient) APM() float64 {
 	return float64(ic.actions) / secs * 60
 }
 
-// OnFrame implements vnc.Driver.
+// OnFrame implements vnc.Driver. A frame superseded before analysis
+// goes straight back to the scene's free list — the client always works
+// on the most recent state, so the waiting frame is dead.
 func (ic *IntelligentClient) OnFrame(f *scene.Frame) {
+	if ic.latest != nil && ic.latest != f {
+		ic.latest.Release()
+	}
 	ic.latest = f
 	ic.maybeProcess()
 }
@@ -73,8 +78,10 @@ func (ic *IntelligentClient) maybeProcess() {
 	// The CNN genuinely runs on the frame's pixels; the simulated
 	// latency models the client machine executing a MobileNets-class
 	// network (the real network here is far smaller than its wall-time
-	// budget, so the budget comes from the profile).
+	// budget, so the budget comes from the profile). After Detect the
+	// pixels are consumed and the frame can be recycled.
 	detected := ic.models.Detect(f.Pixels)
+	f.Release()
 	cv := ic.rng.Jitter(sim.DurationOfSeconds(ic.prof.CVLatencyMs/1e3), 0.10)
 	ic.CVTimes.Add(float64(cv) / float64(sim.Millisecond))
 	ic.k.After(cv, func() {

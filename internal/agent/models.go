@@ -21,6 +21,13 @@ type Models struct {
 
 	lstm *nn.LSTM
 	head *nn.Dense
+
+	// Per-frame inference scratch, owned by this clone (never shared:
+	// Clone starts clones with empty scratch). Reused across frames so
+	// steady-state inference does not allocate.
+	detOut   []scene.Type
+	patchBuf []float64
+	featBuf  []float64
 }
 
 // FeatureSize is the LSTM input width: per-type object counts plus a
@@ -63,9 +70,16 @@ func patch(pixels []float64, gx, gy int, dst []float64) {
 // Detect classifies every grid cell of the frame raster, returning the
 // recognized object types in row-major cell order. This is the real
 // inference path — the CNN actually runs on the pixels.
+//
+// The returned slice is scratch owned by the model and is overwritten
+// by the next Detect on the same clone; copy it to retain it.
 func (m *Models) Detect(pixels []float64) []scene.Type {
-	out := make([]scene.Type, scene.GridW*scene.GridH)
-	buf := make([]float64, scene.CellPx*scene.CellPx)
+	if cap(m.detOut) < scene.GridW*scene.GridH {
+		m.detOut = make([]scene.Type, scene.GridW*scene.GridH)
+		m.patchBuf = make([]float64, scene.CellPx*scene.CellPx)
+	}
+	out := m.detOut[:scene.GridW*scene.GridH]
+	buf := m.patchBuf
 	for gy := 0; gy < scene.GridH; gy++ {
 		for gx := 0; gx < scene.GridW; gx++ {
 			patch(pixels, gx, gy, buf)
@@ -78,7 +92,14 @@ func (m *Models) Detect(pixels []float64) []scene.Type {
 
 // Features builds the LSTM input from the recognized objects.
 func Features(detected []scene.Type) []float64 {
-	f := make([]float64, FeatureSize)
+	return featuresInto(make([]float64, FeatureSize), detected)
+}
+
+// featuresInto fills a FeatureSize-long buffer with the LSTM features.
+func featuresInto(f []float64, detected []scene.Type) []float64 {
+	for i := range f {
+		f[i] = 0
+	}
 	for _, t := range detected {
 		if t != scene.Empty && int(t) < int(scene.NumTypes) {
 			f[t] += 1.0 / float64(len(detected)) * 4 // scaled count
@@ -89,18 +110,29 @@ func Features(detected []scene.Type) []float64 {
 }
 
 // NextActionLogits advances the LSTM one frame and returns action
-// logits. The caller samples or argmaxes.
+// logits (model-owned scratch, overwritten by the next call). The
+// caller samples or argmaxes.
 func (m *Models) NextActionLogits(detected []scene.Type) []float64 {
-	h := m.lstm.Step(Features(detected))
+	if cap(m.featBuf) < FeatureSize {
+		m.featBuf = make([]float64, FeatureSize)
+	}
+	h := m.lstm.Step(featuresInto(m.featBuf[:FeatureSize], detected))
 	return m.head.Forward(h)
 }
 
 // ResetState clears the LSTM's recurrent state (new session).
 func (m *Models) ResetState() { m.lstm.Reset() }
 
-// SampleAction draws from the softmax over logits.
+// SampleAction draws from the softmax over logits. The softmax lands in
+// a stack buffer: this runs once per displayed frame and must not
+// allocate.
 func SampleAction(logits []float64, rng *sim.RNG) scene.Action {
-	p := tensor.Softmax(logits)
+	var buf [scene.NumActions]float64
+	if len(logits) > len(buf) {
+		panic("agent: SampleAction logits wider than the action vocabulary")
+	}
+	p := buf[:len(logits)]
+	tensor.SoftmaxInto(p, logits)
 	r := rng.Float64()
 	var cum float64
 	for i, v := range p {
@@ -182,9 +214,10 @@ func (m *Models) trainLSTM(rec *Recording, cfg TrainConfig, rng *rand.Rand) {
 		return
 	}
 	// Pre-compute the CNN's recognitions once (they are the features).
+	// Detect returns model-owned scratch, so each result is copied out.
 	detections := make([][]scene.Type, len(rec.Samples))
 	for i, s := range rec.Samples {
-		detections[i] = m.Detect(s.Pixels)
+		detections[i] = append([]scene.Type(nil), m.Detect(s.Pixels)...)
 	}
 	params := append(m.lstm.Params(), m.head.Params()...)
 	opt := nn.NewAdam(params, cfg.LearningRate)
@@ -229,7 +262,9 @@ func (m *Models) trainLSTM(rec *Recording, cfg TrainConfig, rng *rand.Rand) {
 						g[j] *= actWeight
 					}
 				}
-				dHs = append(dHs, m.head.Backward(g))
+				// Backward returns head-owned scratch; BPTT retains one
+				// gradient per timestep, so copy.
+				dHs = append(dHs, append([]float64(nil), m.head.Backward(g)...))
 			}
 			m.lstm.Backward(dHs)
 			opt.Step()

@@ -50,6 +50,10 @@ type App struct {
 	frameSeq int64
 	prev     *gl.RenderHandle
 
+	// tagsBuf is the drain scratch: tags live here from drainInputs
+	// until swap copies them into the frame, within the same pass.
+	tagsBuf []uint64
+
 	// Slow-motion bookkeeping.
 	smPollEvery sim.Duration
 }
@@ -114,9 +118,12 @@ func (a *App) Stop() {
 }
 
 // drainInputs empties the X queue (hook4) and reduces it to the frame's
-// tag list and the dominant action.
+// tag list and the dominant action. The returned tag slice is the app's
+// reused scratch: it is valid until the next drainInputs (swap copies
+// it into the frame within the same pipeline pass).
 func (a *App) drainInputs() (tags []uint64, act scene.Action) {
 	act = scene.ActNone
+	tags = a.tagsBuf[:0]
 	for _, in := range a.display.Drain() {
 		a.tracer.RecordHook(trace.Hook4, in.Tag)
 		if in.Tag != 0 {
@@ -126,6 +133,7 @@ func (a *App) drainInputs() (tags []uint64, act scene.Action) {
 			act = in.Action
 		}
 	}
+	a.tagsBuf = tags
 	return tags, act
 }
 
@@ -170,7 +178,8 @@ func (a *App) loop() {
 func (a *App) swap(tags []uint64) *gl.RenderHandle {
 	a.frameSeq++
 	f := a.sc.Render(a.frameSeq, a.prof.Width, a.prof.Height)
-	f.Tags = tags
+	// tags is the drain scratch; the frame owns (recycled) tag storage.
+	f.Tags = append(f.Tags[:0], tags...)
 	a.tracer.RecordHookMulti(trace.Hook5, tags)
 	upload := a.prof.UploadMBPerFrame * (0.3 + a.sc.Motion()) * 1e6
 	h := a.glctx.SwapBuffers(f, upload)

@@ -76,8 +76,10 @@ func (d *DeskBench) Matched() int64  { return d.matched }
 func (d *DeskBench) TimedOut() int64 { return d.timedOut }
 
 // OnFrame implements vnc.Driver: replay the next recorded action once
-// the display matches the recording (or the wait times out).
+// the display matches the recording (or the wait times out). The frame
+// is compared synchronously and released before returning.
 func (d *DeskBench) OnFrame(f *scene.Frame) {
+	defer f.Release()
 	if len(d.acts) == 0 || d.send == nil {
 		return
 	}
@@ -120,10 +122,10 @@ func ChenEstimate(tr *trace.Tracer, prof app.Profile, rng *sim.RNG) *stats.Sampl
 	// the online run's proxy contention, copy stages, or queueing.
 	offlineAL := 2.4 * (prof.ALBaseMs + prof.GPU.BaseRenderMs)
 	for _, rec := range tr.Records() {
-		cs, ok1 := rec.Stages[trace.StageCS]
-		sp, ok2 := rec.Stages[trace.StageSP]
-		cp, ok3 := rec.Stages[trace.StageCP]
-		ss, ok4 := rec.Stages[trace.StageSS]
+		cs, ok1 := rec.Stage(trace.StageCS)
+		sp, ok2 := rec.Stage(trace.StageSP)
+		cp, ok3 := rec.Stage(trace.StageCP)
+		ss, ok4 := rec.Stage(trace.StageSS)
 		if !ok1 || !ok2 || !ok3 || !ok4 {
 			continue
 		}

@@ -1,0 +1,29 @@
+package codec
+
+import (
+	"testing"
+
+	"pictor/internal/scene"
+	"pictor/internal/sim"
+)
+
+// BenchmarkCompress prices the CP stage model itself (it must stay
+// allocation-free: it runs once per shipped frame).
+func BenchmarkCompress(b *testing.B) {
+	c := Default()
+	rng := sim.NewRNG(1)
+	f := &scene.Frame{Width: 1920, Height: 1080, Motion: 0.4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(f, rng)
+	}
+}
+
+func BenchmarkDecompressTime(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecompressTime(1.2e6)
+	}
+}

@@ -257,8 +257,14 @@ func (c *Cluster) Run(warmup, measure sim.Duration) {
 		inst.start()
 	}
 	c.K.RunUntil(c.K.Now().Add(warmup))
+	// Pre-size the tracer's samples from the configured window: stage
+	// samples collect at most ~one observation per frame, so a frame
+	// rate bound × window length covers steady state without re-growth.
+	const maxExpectedFPS = 64
+	hint := int(sim.Time(measure).Seconds() * maxExpectedFPS)
 	for _, inst := range c.Instances {
 		inst.resetAccounting()
+		inst.Tracer.SizeHint(hint)
 	}
 	c.K.RunUntil(c.K.Now().Add(measure))
 	for _, inst := range c.Instances {

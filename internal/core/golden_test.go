@@ -1,0 +1,78 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pictor/internal/app"
+)
+
+// updateGolden rewrites the pinned determinism fixture. It must only be
+// used deliberately, when a change is *supposed* to alter simulation
+// results; the whole point of the fixture is that performance work does
+// not get to touch it.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/methodology_golden.txt")
+
+const goldenPath = "testdata/methodology_golden.txt"
+
+// renderMethodology produces a byte-stable rendering of the Figure-6 /
+// Table-3 rows: %v on float64 prints the shortest representation that
+// round-trips, so two renderings are equal iff every float is
+// bit-identical.
+func renderMethodology(prof app.Profile, rs []MethodologyResult) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%s %s rtt=%+v err=%v\n", prof.Name, r.Method, r.RTT, r.ErrVsHuman)
+	}
+	return sb.String()
+}
+
+// TestGoldenMethodologyComparison is the regression oracle for the
+// allocation-free hot-path work: a fixed-seed RunMethodologyComparison
+// (with repetitions, so derived seeds are exercised) must stay
+// byte-identical to the output recorded before the optimization pass,
+// at -parallel 1 and at -parallel 8. Any buffer-reuse bug that lets one
+// frame, layer activation, or sample alias another shows up here as a
+// diff long before it would be diagnosable elsewhere.
+func TestGoldenMethodologyComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a session and trains models")
+	}
+	prof := app.STK()
+	base := QuickExperimentConfig()
+	base.WarmupSeconds, base.Seconds = 1, 5
+	base.Reps = 2
+
+	render := func(parallel int) string {
+		cfg := base
+		cfg.Parallel = parallel
+		return renderMethodology(prof, RunMethodologyComparison(prof, cfg))
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("methodology output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(seq), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden to record): %v", err)
+	}
+	if string(want) != seq {
+		t.Fatalf("output diverged from the pre-optimization golden:\n--- golden ---\n%s--- got ---\n%s", want, seq)
+	}
+}

@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Per-call hot leaves of the intelligent client's inference path (the
+// CNN runs once per grid cell per frame, the LSTM once per frame). Run
+// with -benchmem; allocs/op here multiply by thousands of frames per
+// simulated trial.
+
+func benchInput(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func BenchmarkDenseForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(54, 8, rng)
+	x := benchInput(54, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x)
+	}
+}
+
+func BenchmarkReLUForward(b *testing.B) {
+	r := &ReLU{}
+	x := benchInput(216, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Forward(x)
+	}
+}
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(8, 8, 1, 6, 3, rng)
+	x := benchInput(64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(8, 8, 1, 6, 3, rng)
+	x := benchInput(64, 2)
+	grad := benchInput(c.OutLen(), 3)
+	c.Forward(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Backward(grad)
+	}
+}
+
+func BenchmarkMaxPool2Forward(b *testing.B) {
+	p := NewMaxPool2(6, 6, 6)
+	x := benchInput(6*6*6, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+// BenchmarkCNNForward is the full per-cell recognition stack the
+// intelligent client runs 24 times per frame.
+func BenchmarkCNNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(8, 8, 1, 6, 3, rng)
+	pool := NewMaxPool2(conv.OutH(), conv.OutW(), 6)
+	cnn := &Sequential{Layers: []Layer{
+		conv,
+		&ReLU{},
+		pool,
+		NewDense(pool.OutLen(), 8, rng),
+	}}
+	x := benchInput(64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cnn.Forward(x)
+	}
+}
+
+func BenchmarkLSTMStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLSTM(9, 14, rng)
+	x := benchInput(9, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Step(x)
+	}
+}

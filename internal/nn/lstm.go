@@ -17,9 +17,13 @@ type LSTM struct {
 	h, c []float64
 
 	// BPTT caches (one entry per timestep of the current sequence).
-	xs, hs, cs          [][]float64
-	gi, gf, gg, go_     [][]float64
-	training            bool
+	xs, hs, cs      [][]float64
+	gi, gf, gg, go_ [][]float64
+	training        bool
+
+	// Inference scratch (reused across Steps outside training; BPTT
+	// needs per-step copies, so training allocates as before).
+	sPrevH, sPrevC, sZi, sZf, sZg, sZo []float64
 }
 
 // NewLSTM creates an LSTM with forget-gate bias initialized positive
@@ -41,10 +45,19 @@ func (l *LSTM) widx(g, j, k int) int {
 	return (g*l.Hidden+j)*cols + k
 }
 
-// Reset clears the recurrent state and BPTT caches.
+// Reset clears the recurrent state and BPTT caches. The state buffers
+// are zeroed in place when already allocated (a new session must not
+// cost a new allocation in a long-running client).
 func (l *LSTM) Reset() {
-	l.h = make([]float64, l.Hidden)
-	l.c = make([]float64, l.Hidden)
+	if len(l.h) != l.Hidden {
+		l.h = make([]float64, l.Hidden)
+		l.c = make([]float64, l.Hidden)
+	} else {
+		for i := range l.h {
+			l.h[i] = 0
+			l.c[i] = 0
+		}
+	}
 	l.xs, l.hs, l.cs = nil, nil, nil
 	l.gi, l.gf, l.gg, l.go_ = nil, nil, nil, nil
 }
@@ -54,45 +67,65 @@ func (l *LSTM) SetTraining(t bool) { l.training = t }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
-// Step consumes one input vector and returns the new hidden state.
+// Step consumes one input vector and returns the new hidden state. The
+// returned slice aliases the LSTM's own state buffer and is overwritten
+// by the next Step; copy it to retain it across steps.
 func (l *LSTM) Step(x []float64) []float64 {
 	if len(x) != l.InSize {
 		panic("nn: LSTM input size mismatch")
 	}
 	cols := l.InSize + l.Hidden + 1
-	prevH := append([]float64(nil), l.h...)
-	prevC := append([]float64(nil), l.c...)
-
-	zi := make([]float64, l.Hidden)
-	zf := make([]float64, l.Hidden)
-	zg := make([]float64, l.Hidden)
-	zo := make([]float64, l.Hidden)
+	var prevH, prevC, zi, zf, zg, zo []float64
+	if l.training {
+		// BPTT retains these per step; they must be fresh allocations.
+		prevH = append([]float64(nil), l.h...)
+		prevC = append([]float64(nil), l.c...)
+		zi = make([]float64, l.Hidden)
+		zf = make([]float64, l.Hidden)
+		zg = make([]float64, l.Hidden)
+		zo = make([]float64, l.Hidden)
+	} else {
+		l.sPrevH = append(l.sPrevH[:0], l.h...)
+		l.sPrevC = append(l.sPrevC[:0], l.c...)
+		prevH, prevC = l.sPrevH, l.sPrevC
+		l.sZi = grow(l.sZi, l.Hidden)
+		l.sZf = grow(l.sZf, l.Hidden)
+		l.sZg = grow(l.sZg, l.Hidden)
+		l.sZo = grow(l.sZo, l.Hidden)
+		zi, zf, zg, zo = l.sZi, l.sZf, l.sZg, l.sZo
+	}
 	for j := 0; j < l.Hidden; j++ {
+		// Row slices per gate (the widx arithmetic hoisted out of the
+		// inner loops; accumulation order is unchanged).
+		rowI := l.w.W[(0*l.Hidden+j)*cols : (0*l.Hidden+j+1)*cols]
+		rowF := l.w.W[(1*l.Hidden+j)*cols : (1*l.Hidden+j+1)*cols]
+		rowG := l.w.W[(2*l.Hidden+j)*cols : (2*l.Hidden+j+1)*cols]
+		rowO := l.w.W[(3*l.Hidden+j)*cols : (3*l.Hidden+j+1)*cols]
 		var si, sf, sg, so float64
 		for k := 0; k < l.InSize; k++ {
 			xv := x[k]
 			if xv == 0 {
 				continue
 			}
-			si += l.w.W[l.widx(0, j, k)] * xv
-			sf += l.w.W[l.widx(1, j, k)] * xv
-			sg += l.w.W[l.widx(2, j, k)] * xv
-			so += l.w.W[l.widx(3, j, k)] * xv
+			si += rowI[k] * xv
+			sf += rowF[k] * xv
+			sg += rowG[k] * xv
+			so += rowO[k] * xv
 		}
 		for k := 0; k < l.Hidden; k++ {
 			hv := prevH[k]
 			if hv == 0 {
 				continue
 			}
-			si += l.w.W[l.widx(0, j, l.InSize+k)] * hv
-			sf += l.w.W[l.widx(1, j, l.InSize+k)] * hv
-			sg += l.w.W[l.widx(2, j, l.InSize+k)] * hv
-			so += l.w.W[l.widx(3, j, l.InSize+k)] * hv
+			si += rowI[l.InSize+k] * hv
+			sf += rowF[l.InSize+k] * hv
+			sg += rowG[l.InSize+k] * hv
+			so += rowO[l.InSize+k] * hv
 		}
-		si += l.w.W[l.widx(0, j, cols-1)]
-		sf += l.w.W[l.widx(1, j, cols-1)]
-		sg += l.w.W[l.widx(2, j, cols-1)]
-		so += l.w.W[l.widx(3, j, cols-1)]
+		si += rowI[cols-1]
+		sf += rowF[cols-1]
+		sg += rowG[cols-1]
+		so += rowO[cols-1]
 		zi[j] = sigmoid(si)
 		zf[j] = sigmoid(sf)
 		zg[j] = math.Tanh(sg)
@@ -110,7 +143,7 @@ func (l *LSTM) Step(x []float64) []float64 {
 		l.gg = append(l.gg, zg)
 		l.go_ = append(l.go_, zo)
 	}
-	return append([]float64(nil), l.h...)
+	return l.h
 }
 
 // Backward runs BPTT over the cached sequence. dHs[t] is dLoss/dh at

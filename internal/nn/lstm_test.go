@@ -11,11 +11,12 @@ import (
 func TestLSTMStepShapeAndState(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	l := NewLSTM(3, 5, rng)
-	h1 := l.Step([]float64{1, 0, 0})
+	// Step returns model-owned scratch; copy to compare across steps.
+	h1 := append([]float64(nil), l.Step([]float64{1, 0, 0})...)
 	if len(h1) != 5 {
 		t.Fatalf("hidden size = %d, want 5", len(h1))
 	}
-	h2 := l.Step([]float64{1, 0, 0})
+	h2 := append([]float64(nil), l.Step([]float64{1, 0, 0})...)
 	same := true
 	for i := range h1 {
 		if h1[i] != h2[i] {
@@ -127,7 +128,8 @@ func TestLSTMLearnsSequencePattern(t *testing.T) {
 			h := l.Step(x)
 			logits := head.Forward(h)
 			_, g := SoftmaxCrossEntropy(logits, labels[i])
-			dHs[i] = head.Backward(g)
+			// Backward returns layer-owned scratch; BPTT retains per step.
+			dHs[i] = append([]float64(nil), head.Backward(g)...)
 		}
 		l.Backward(dHs)
 		opt.Step()

@@ -39,6 +39,12 @@ func (p *Param) initUniform(rng *rand.Rand, fanIn int) {
 }
 
 // Layer is one differentiable stage of a feed-forward network.
+//
+// Ownership: Forward and Backward return layer-owned scratch buffers
+// that are overwritten by the next call on the same layer. Callers that
+// need a result to survive a subsequent call must copy it. This is what
+// keeps steady-state inference allocation-free (the intelligent client
+// runs the CNN 24 times per displayed frame).
 type Layer interface {
 	// Forward maps input to output, caching what Backward needs.
 	Forward(x []float64) []float64
@@ -49,11 +55,30 @@ type Layer interface {
 	Params() []*Param
 }
 
+// grow returns buf resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growZero returns buf resized to n elements with every element zeroed.
+func growZero(buf []float64, n int) []float64 {
+	buf = grow(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // Dense is a fully connected layer: y = Wx + b.
 type Dense struct {
 	In, Out int
 	w, b    *Param
 	lastX   []float64
+	out, dx []float64 // owned scratch, reused across calls
 }
 
 // NewDense creates a dense layer with fan-in initialization.
@@ -69,7 +94,8 @@ func (d *Dense) Forward(x []float64) []float64 {
 		panic("nn: Dense input size mismatch")
 	}
 	d.lastX = append(d.lastX[:0], x...)
-	out := make([]float64, d.Out)
+	out := grow(d.out, d.Out)
+	d.out = out
 	for o := 0; o < d.Out; o++ {
 		row := d.w.W[o*d.In : (o+1)*d.In]
 		out[o] = d.b.W[o] + tensor.Dot(row, x)
@@ -79,7 +105,8 @@ func (d *Dense) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad []float64) []float64 {
-	dx := make([]float64, d.In)
+	dx := growZero(d.dx, d.In)
+	d.dx = dx
 	for o := 0; o < d.Out; o++ {
 		g := grad[o]
 		if g == 0 {
@@ -100,15 +127,21 @@ func (d *Dense) Backward(grad []float64) []float64 {
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
 // ReLU is the rectified-linear activation.
-type ReLU struct{ lastX []float64 }
+type ReLU struct {
+	lastX   []float64
+	out, dx []float64 // owned scratch, reused across calls
+}
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x []float64) []float64 {
 	r.lastX = append(r.lastX[:0], x...)
-	out := make([]float64, len(x))
+	out := grow(r.out, len(x))
+	r.out = out
 	for i, v := range x {
 		if v > 0 {
 			out[i] = v
+		} else {
+			out[i] = 0
 		}
 	}
 	return out
@@ -116,10 +149,13 @@ func (r *ReLU) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad []float64) []float64 {
-	dx := make([]float64, len(grad))
+	dx := grow(r.dx, len(grad))
+	r.dx = dx
 	for i, g := range grad {
 		if r.lastX[i] > 0 {
 			dx[i] = g
+		} else {
+			dx[i] = 0
 		}
 	}
 	return dx
@@ -134,6 +170,8 @@ type Conv2D struct {
 	H, W, InC, OutC, K int
 	w, b               *Param
 	lastCols           *tensor.Tensor
+	out, dcols, dx     []float64      // owned scratch, reused across calls
+	inT, kmat          *tensor.Tensor // cached headers (no per-call FromSlice)
 }
 
 // NewConv2D creates a convolution layer.
@@ -156,12 +194,22 @@ func (c *Conv2D) OutLen() int { return c.OutH() * c.OutW() * c.OutC }
 // Forward implements Layer. Input is flattened (H, W, C); output is
 // flattened (OutH, OutW, OutC).
 func (c *Conv2D) Forward(x []float64) []float64 {
-	in := tensor.FromSlice(x, c.H, c.W, c.InC)
-	cols := tensor.Im2Col(in, c.K, c.K) // (outH*outW, K*K*InC)
-	c.lastCols = cols
-	kmat := tensor.FromSlice(c.w.W, c.OutC, c.K*c.K*c.InC)
+	if len(x) != c.H*c.W*c.InC {
+		panic("nn: Conv2D input size mismatch")
+	}
+	if c.lastCols == nil {
+		c.lastCols = tensor.New(c.OutH()*c.OutW(), c.K*c.K*c.InC)
+		c.inT = tensor.FromSlice(x, c.H, c.W, c.InC)
+		c.kmat = tensor.FromSlice(c.w.W, c.OutC, c.K*c.K*c.InC)
+	}
+	in := c.inT // cached header; rebind the data to this call's input
+	in.Data = x
+	cols := c.lastCols // (outH*outW, K*K*InC), reused across frames
+	tensor.Im2ColInto(cols, in, c.K, c.K)
+	kmat := c.kmat
 	rows, depth := cols.Shape[0], cols.Shape[1]
-	out := make([]float64, rows*c.OutC)
+	out := grow(c.out, rows*c.OutC)
+	c.out = out
 	for r := 0; r < rows; r++ {
 		patch := cols.Data[r*depth : (r+1)*depth]
 		for o := 0; o < c.OutC; o++ {
@@ -176,7 +224,8 @@ func (c *Conv2D) Forward(x []float64) []float64 {
 func (c *Conv2D) Backward(grad []float64) []float64 {
 	depth := c.K * c.K * c.InC
 	rows := c.OutH() * c.OutW()
-	dcols := make([]float64, rows*depth)
+	dcols := growZero(c.dcols, rows*depth)
+	c.dcols = dcols
 	for r := 0; r < rows; r++ {
 		patch := c.lastCols.Data[r*depth : (r+1)*depth]
 		for o := 0; o < c.OutC; o++ {
@@ -195,7 +244,8 @@ func (c *Conv2D) Backward(grad []float64) []float64 {
 		}
 	}
 	// Scatter column gradients back to input positions.
-	dx := make([]float64, c.H*c.W*c.InC)
+	dx := growZero(c.dx, c.H*c.W*c.InC)
+	c.dx = dx
 	ow := c.OutW()
 	r := 0
 	for oy := 0; oy < c.OutH(); oy++ {
@@ -223,6 +273,7 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
 type MaxPool2 struct {
 	H, W, C int
 	argmax  []int
+	out, dx []float64 // owned scratch, reused across calls
 }
 
 // NewMaxPool2 creates the pooling layer; H and W must be even.
@@ -239,25 +290,39 @@ func (p *MaxPool2) OutLen() int { return p.H / 2 * p.W / 2 * p.C }
 // Forward implements Layer.
 func (p *MaxPool2) Forward(x []float64) []float64 {
 	oh, ow := p.H/2, p.W/2
-	out := make([]float64, oh*ow*p.C)
-	p.argmax = make([]int, len(out))
+	out := grow(p.out, oh*ow*p.C)
+	p.out = out
+	if cap(p.argmax) < len(out) {
+		p.argmax = make([]int, len(out))
+	}
+	p.argmax = p.argmax[:len(out)]
+	// The 2×2 window is unrolled with direct index arithmetic; the
+	// first-strictly-greater tie-breaking matches the original loop
+	// (scan order (0,0), (0,1), (1,0), (1,1)), so outputs and argmax
+	// indices are identical.
 	for oy := 0; oy < oh; oy++ {
+		rowTop := oy * 2 * p.W * p.C
+		rowBot := rowTop + p.W*p.C
 		for ox := 0; ox < ow; ox++ {
+			i00 := rowTop + ox*2*p.C
+			o := (oy*ow + ox) * p.C
 			for ch := 0; ch < p.C; ch++ {
-				best := math.Inf(-1)
-				bestIdx := -1
-				for dy := 0; dy < 2; dy++ {
-					for dx := 0; dx < 2; dx++ {
-						idx := ((oy*2+dy)*p.W+ox*2+dx)*p.C + ch
-						if x[idx] > best {
-							best = x[idx]
-							bestIdx = idx
-						}
-					}
+				a := i00 + ch
+				b := a + p.C
+				c := rowBot + ox*2*p.C + ch
+				d := c + p.C
+				best, bestIdx := x[a], a
+				if x[b] > best {
+					best, bestIdx = x[b], b
 				}
-				o := (oy*ow+ox)*p.C + ch
-				out[o] = best
-				p.argmax[o] = bestIdx
+				if x[c] > best {
+					best, bestIdx = x[c], c
+				}
+				if x[d] > best {
+					best, bestIdx = x[d], d
+				}
+				out[o+ch] = best
+				p.argmax[o+ch] = bestIdx
 			}
 		}
 	}
@@ -266,7 +331,8 @@ func (p *MaxPool2) Forward(x []float64) []float64 {
 
 // Backward implements Layer.
 func (p *MaxPool2) Backward(grad []float64) []float64 {
-	dx := make([]float64, p.H*p.W*p.C)
+	dx := growZero(p.dx, p.H*p.W*p.C)
+	p.dx = dx
 	for o, g := range grad {
 		dx[p.argmax[o]] += g
 	}

@@ -7,6 +7,17 @@ import "math"
 // substantially different pixels from different viewing angles.
 var glyphs [NumTypes][CellPx * CellPx]float64
 
+// ditherTab maps a dither byte to its pixel offset, precomputed with
+// exactly the arithmetic the render loop used inline so table lookups
+// are bit-identical to the original computation.
+var ditherTab [256]float64
+
+func init() {
+	for b := 0; b < 256; b++ {
+		ditherTab[b] = (float64(b)/255 - 0.5) * 0.06
+	}
+}
+
 func init() {
 	set := func(t Type, rows [CellPx]string) {
 		for y, row := range rows {
@@ -126,78 +137,143 @@ type Frame struct {
 	// overwrote when embedding tags; hook8 restores them. It models the
 	// paper's "old pixels are stored in shared memory".
 	PixelBackup []float64
+
+	// owner is the scene whose free list recycles this frame; nil for
+	// hand-built or cloned frames. pooled guards double releases.
+	owner  *Scene
+	pooled bool
 }
 
 // RawBytes reports the uncompressed framebuffer size (RGBA).
 func (f *Frame) RawBytes() float64 { return float64(f.Width) * float64(f.Height) * 4 }
 
-// Clone deep-copies the frame (pixels and tags).
+// Clone deep-copies the frame (pixels and tags). The clone is detached
+// from any frame pool: releasing it is a no-op.
 func (f *Frame) Clone() *Frame {
 	g := *f
+	g.owner = nil
+	g.pooled = false
 	g.Pixels = make([]float64, len(f.Pixels))
 	copy(g.Pixels, f.Pixels)
 	g.Tags = append([]uint64(nil), f.Tags...)
 	g.Cells = append([]Cell(nil), f.Cells...)
+	g.PixelBackup = append([]float64(nil), f.PixelBackup...)
 	return &g
 }
 
-// Render rasterizes the scene into a new frame at the given nominal
+// Release returns the frame to its scene's free list once it has left
+// the pipeline (coalesced away at the proxy, or fully consumed by the
+// client driver). The consumer that takes ownership of a delivered
+// frame calls it; a frame not produced by Scene.Render (tests build
+// them by hand, Clone detaches) ignores the call. Double releases are
+// no-ops. After Release the frame's buffers belong to the scene again
+// and must not be touched.
+func (f *Frame) Release() {
+	if f.owner == nil || f.pooled {
+		return
+	}
+	f.pooled = true
+	f.owner.free = append(f.owner.free, f)
+}
+
+// Render rasterizes the scene into a frame at the given nominal
 // resolution. Pose distorts each glyph: rows shift laterally and the
 // intensity envelope rotates, so pixel-exact comparison across frames of
 // the "same" scene content fails — the property that breaks DeskBench on
 // 3D applications.
+//
+// Frames come from a per-scene free list: a steady-state pipeline that
+// releases frames as they leave (vnc coalescing, the client drivers)
+// renders without allocating. The pixel, cell, tag and backup buffers
+// of a recycled frame are reused in place.
 func (s *Scene) Render(seq int64, width, height int) *Frame {
-	px := make([]float64, FrameW*FrameH)
+	f := s.takeFrame()
+	px := f.Pixels
+	for i := range px {
+		px[i] = 0
+	}
 	for gy := 0; gy < GridH; gy++ {
 		for gx := 0; gx < GridW; gx++ {
-			c := s.cells[gy*GridW+gx]
-			if c.T == Empty {
+			i := gy*GridW + gx
+			if s.cells[i].T == Empty {
 				continue
 			}
-			drawGlyph(px, gx, gy, c)
+			s.drawGlyph(px, gx, gy, i)
 		}
 	}
 	// Pseudo-random dither keyed by scene tick: models temporal noise
 	// (anti-aliasing, animation sub-frames) without an RNG dependency,
 	// keeping Render const with respect to the scene's random stream.
+	// The 256 possible dither offsets come from a precomputed table
+	// (bit-identical to computing them inline); this loop runs for every
+	// pixel of every frame and dominated the render profile.
+	// The clamp uses the builtin float min/max (branch predictors lose
+	// on random dither signs). v is never NaN and never −0 (a float sum
+	// that cancels rounds to +0), so this is exactly the old
+	// if-v<0/else-if-v>1 clamp.
 	n := uint64(s.tick)*2654435761 + 12345
 	for i := range px {
 		n = n*6364136223846793005 + 1442695040888963407
-		px[i] += (float64(n>>40&0xFF)/255 - 0.5) * 0.06
-		if px[i] < 0 {
-			px[i] = 0
-		}
-		if px[i] > 1 {
-			px[i] = 1
-		}
+		px[i] = min(1, max(0, px[i]+ditherTab[n>>40&0xFF]))
 	}
-	return &Frame{
-		Seq:        seq,
-		Width:      width,
-		Height:     height,
-		Pixels:     px,
-		Complexity: s.Complexity(),
-		Motion:     s.Motion(),
-		Cells:      s.Cells(),
-	}
+	f.Seq = seq
+	f.Width = width
+	f.Height = height
+	f.Complexity = s.Complexity()
+	f.Motion = s.Motion()
+	f.Cells = append(f.Cells[:0], s.cells[:]...)
+	return f
 }
 
-func drawGlyph(px []float64, gx, gy int, c Cell) {
+// takeFrame pops a recycled frame from the free list or allocates a
+// fresh one. Reused frames keep their buffer capacity; all metadata is
+// reset.
+func (s *Scene) takeFrame() *Frame {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		f.pooled = false
+		f.Tags = f.Tags[:0]
+		f.PixelBackup = f.PixelBackup[:0]
+		f.CompressedBytes = 0
+		return f
+	}
+	return &Frame{owner: s, Pixels: make([]float64, FrameW*FrameH)}
+}
+
+// drawGlyph rasterizes cell i (at grid position gx, gy) into px. The
+// pose-dependent intensity envelope — eight math.Sin evaluations per
+// glyph — is memoized per cell keyed on the exact pose bits, so static
+// poses (PoseDrift 0, e.g. menu-heavy or fixed-camera workloads) cost
+// no trigonometry after the first frame. Cache hits return the exact
+// previously computed values: results are bit-identical either way.
+func (s *Scene) drawGlyph(px []float64, gx, gy, i int) {
+	c := s.cells[i]
 	g := &glyphs[c.T]
 	shift := int(math.Round(c.Pose*6)) - 3 // lateral shift −3..+3
-	phase := c.Pose * 2 * math.Pi
+	env := &s.envCache[i]
+	if !s.envValid[i] || s.envPose[i] != c.Pose {
+		phase := c.Pose * 2 * math.Pi
+		for y := 0; y < CellPx; y++ {
+			// Intensity envelope varies down the glyph with pose
+			// ("lighting").
+			env[y] = 0.65 + 0.35*math.Sin(phase+float64(y)*0.7)
+		}
+		s.envPose[i] = c.Pose
+		s.envValid[i] = true
+	}
 	for y := 0; y < CellPx; y++ {
-		// Intensity envelope varies down the glyph with pose ("lighting").
-		envelope := 0.65 + 0.35*math.Sin(phase+float64(y)*0.7)
+		envelope := env[y]
+		grow := g[y*CellPx : (y+1)*CellPx]
+		rowBase := (gy*CellPx+y)*FrameW + gx*CellPx
 		for x := 0; x < CellPx; x++ {
 			sx := x + shift
 			if sx < 0 || sx >= CellPx {
 				continue
 			}
-			v := g[y*CellPx+x] * envelope
-			tx := gx*CellPx + sx
-			ty := gy*CellPx + y
-			idx := ty*FrameW + tx
+			v := grow[x] * envelope
+			idx := rowBase + sx
 			if v > px[idx] {
 				px[idx] = v
 			}

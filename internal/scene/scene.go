@@ -131,6 +131,15 @@ type Scene struct {
 	stir       float64 // recent input agitation, decays per tick
 	motion     float64 // fraction of cells changed last tick
 	complexity float64
+
+	// free is the frame free list: frames released by the pipeline
+	// (Frame.Release) are recycled by the next Render.
+	free []*Frame
+
+	// Per-cell pose-envelope memoization (see drawGlyph).
+	envCache [GridW * GridH][CellPx]float64
+	envPose  [GridW * GridH]float64
+	envValid [GridW * GridH]bool
 }
 
 // New creates a scene and populates it to steady-state density.

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelEventChurn measures the scheduler's per-event cost: a
+// self-sustaining chain of After calls, the shape every pipeline loop
+// (app, proxy, client) imposes on the kernel.
+func BenchmarkKernelEventChurn(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(Millisecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.After(Millisecond, tick)
+	k.Run()
+}
+
+// BenchmarkKernelCancelChurn measures schedule+cancel pairs (timeouts
+// and superseded frames cancel heavily in long simulations).
+func BenchmarkKernelCancelChurn(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := k.At(k.Now()+Time(1000), fn)
+		k.Cancel(id)
+	}
+}

@@ -56,17 +56,26 @@ func DurationOfSeconds(s float64) Duration {
 	return Duration(ns)
 }
 
-// event is one scheduled callback.
+// event is one scheduled callback. Event structs are pooled by the
+// kernel: after firing (or after a cancelled corpse is swept) the
+// struct is recycled for a future At/After, so steady-state scheduling
+// does not allocate. gen distinguishes incarnations — an EventID from a
+// previous life of the struct no longer matches and cannot cancel the
+// current occupant.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break so same-time events run FIFO
 	fn   func()
 	dead bool
 	idx  int
+	gen  uint64
 }
 
 // EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 type eventHeap []*event
 
@@ -106,6 +115,28 @@ type Kernel struct {
 	dead    int // cancelled events still occupying heap slots
 	running bool
 	stopped bool
+	pool    []*event // recycled event structs
+}
+
+// getEvent takes a recycled event struct or allocates one.
+func (k *Kernel) getEvent() *event {
+	if n := len(k.pool); n > 0 {
+		ev := k.pool[n-1]
+		k.pool[n-1] = nil
+		k.pool = k.pool[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// putEvent recycles a spent event. Bumping gen invalidates every
+// outstanding EventID pointing at the old incarnation.
+func (k *Kernel) putEvent(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	ev.idx = -1
+	k.pool = append(k.pool, ev)
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -133,7 +164,7 @@ func (k *Kernel) maybeCompact() {
 	kept := k.heap[:0]
 	for _, ev := range k.heap {
 		if ev.dead {
-			ev.idx = -1
+			k.putEvent(ev)
 			continue
 		}
 		kept = append(kept, ev)
@@ -159,11 +190,12 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
+	ev := k.getEvent()
+	ev.at, ev.seq, ev.fn = t, k.seq, fn
 	k.seq++
 	heap.Push(&k.heap, ev)
 	k.live++
-	return EventID{ev}
+	return EventID{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d is
@@ -176,9 +208,10 @@ func (k *Kernel) After(d Duration, fn func()) EventID {
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op and reports false.
+// already-cancelled event is a no-op and reports false (the generation
+// check keeps a stale ID from touching a recycled event struct).
 func (k *Kernel) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.dead || id.ev.idx < 0 {
+	if id.ev == nil || id.gen != id.ev.gen || id.ev.dead || id.ev.idx < 0 {
 		return false
 	}
 	id.ev.dead = true
@@ -195,11 +228,14 @@ func (k *Kernel) Step() bool {
 		ev := heap.Pop(&k.heap).(*event)
 		if ev.dead {
 			k.dead--
+			k.putEvent(ev)
 			continue
 		}
 		k.live--
 		k.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		k.putEvent(ev) // recycle before running: fn may schedule
+		fn()
 		return true
 	}
 	return false
@@ -224,7 +260,7 @@ func (k *Kernel) RunUntil(t Time) {
 		var next *event
 		for len(k.heap) > 0 {
 			if k.heap[0].dead {
-				heap.Pop(&k.heap)
+				k.putEvent(heap.Pop(&k.heap).(*event))
 				k.dead--
 				continue
 			}

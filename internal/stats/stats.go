@@ -27,11 +27,38 @@ func (s *Sample) Add(x float64) {
 	s.sumSq += x * x
 }
 
-// AddAll records a batch of observations.
+// AddAll records a batch of observations: one append and one
+// invalidation for the whole batch instead of per element.
 func (s *Sample) AddAll(xs []float64) {
-	for _, x := range xs {
-		s.Add(x)
+	if len(xs) == 0 {
+		return
 	}
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+	for _, x := range xs {
+		s.sum += x
+		s.sumSq += x * x
+	}
+}
+
+// Grow pre-sizes the sample's backing array for at least n total
+// observations, so a measurement loop of known length never re-grows.
+func (s *Sample) Grow(n int) {
+	if n <= cap(s.xs) {
+		return
+	}
+	xs := make([]float64, len(s.xs), n)
+	copy(xs, s.xs)
+	s.xs = xs
+}
+
+// Reset discards all observations but keeps the backing array, so a
+// warmup reset does not re-pay the sample's growth.
+func (s *Sample) Reset() {
+	s.xs = s.xs[:0]
+	s.sorted = false
+	s.sum = 0
+	s.sumSq = 0
 }
 
 // N reports the number of observations.
@@ -84,10 +111,15 @@ func (s *Sample) Max() float64 {
 }
 
 func (s *Sample) ensureSorted() {
-	if !s.sorted {
-		sort.Float64s(s.xs)
-		s.sorted = true
+	// The empty early-out is load-bearing beyond speed: read-style
+	// queries (Values, Min, Max, Percentile) must not write any field
+	// of an empty sample, so a shared canonical empty sample (see
+	// trace.StageSample) stays safe under concurrent readers.
+	if s.sorted || len(s.xs) == 0 {
+		return
 	}
+	sort.Float64s(s.xs)
+	s.sorted = true
 }
 
 // Percentile reports the p-th percentile (p in [0,100]) using linear

@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.Float64()
+	}
+	return t
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 36, 9)
+	c := randTensor(rng, 9, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+func BenchmarkMatMulInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 36, 9)
+	c := randTensor(rng, 9, 6)
+	out := New(36, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, a, c)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randTensor(rng, 8, 8, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(in, 3, 3)
+	}
+}
+
+func BenchmarkIm2ColInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randTensor(rng, 8, 8, 1)
+	out := New(36, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(out, in, 3, 3)
+	}
+}
+
+func BenchmarkSoftmaxInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	out := make([]float64, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SoftmaxInto(out, x)
+	}
+}

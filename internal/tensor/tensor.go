@@ -101,12 +101,29 @@ func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic("tensor: MatMul needs 2-D operands")
 	}
+	m, n := a.Shape[0], b.Shape[1]
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes a(m×k) · b(k×n) into out(m×n), reusing out's
+// storage. out is fully overwritten; it must not alias a or b.
+func MatMulInto(out, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul needs 2-D operands")
+	}
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
-	out := New(m, n)
+	if out.Dims() != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto out shape %v, want [%d %d]", out.Shape, m, n))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	for i := 0; i < m; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		orow := out.Data[i*n : (i+1)*n]
@@ -121,7 +138,6 @@ func MatMul(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MatVec computes the product a(m×k) · x(k) → (m).
@@ -155,6 +171,25 @@ func Im2Col(input *Tensor, kh, kw int) *Tensor {
 		panic("tensor: kernel larger than input")
 	}
 	out := New(oh*ow, kh*kw*c)
+	Im2ColInto(out, input, kh, kw)
+	return out
+}
+
+// Im2ColInto performs the Im2Col transform into a preallocated
+// (oh*ow, kh*kw*C) matrix, reusing its storage across frames. Every
+// element of out is overwritten.
+func Im2ColInto(out, input *Tensor, kh, kw int) {
+	if input.Dims() != 3 {
+		panic("tensor: Im2Col needs an (H, W, C) input")
+	}
+	h, w, c := input.Shape[0], input.Shape[1], input.Shape[2]
+	oh, ow := h-kh+1, w-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic("tensor: kernel larger than input")
+	}
+	if out.Dims() != 2 || out.Shape[0] != oh*ow || out.Shape[1] != kh*kw*c {
+		panic(fmt.Sprintf("tensor: Im2ColInto out shape %v, want [%d %d]", out.Shape, oh*ow, kh*kw*c))
+	}
 	row := 0
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
@@ -168,7 +203,6 @@ func Im2Col(input *Tensor, kh, kw int) *Tensor {
 			row++
 		}
 	}
-	return out
 }
 
 // Dot computes the inner product of equal-length vectors.
@@ -186,8 +220,18 @@ func Dot(a, b []float64) float64 {
 // Softmax returns the softmax of x (numerically stabilized).
 func Softmax(x []float64) []float64 {
 	out := make([]float64, len(x))
+	SoftmaxInto(out, x)
+	return out
+}
+
+// SoftmaxInto writes the softmax of x into out (same length, fully
+// overwritten). out may not alias x.
+func SoftmaxInto(out, x []float64) {
+	if len(out) != len(x) {
+		panic("tensor: SoftmaxInto length mismatch")
+	}
 	if len(x) == 0 {
-		return out
+		return
 	}
 	maxV := x[0]
 	for _, v := range x {
@@ -204,7 +248,6 @@ func Softmax(x []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 // ArgMax reports the index of the largest element (-1 for empty input).

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"testing"
+
+	"pictor/internal/sim"
+)
+
+// BenchmarkTracerFramePath exercises the tracer work one tagged input
+// causes across a full round trip: tag allocation, all ten hook
+// timestamps, the nine stage samples, and the pixel embed/extract
+// crossing of the IPC boundary. This is the trace cost of one frame in
+// a driven trial.
+func BenchmarkTracerFramePath(b *testing.B) {
+	k := sim.NewKernel()
+	tr := New(k)
+	px := make([]float64, 48*32)
+	tags := make([]uint64, 1)
+	var backup []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := tr.NextTag()
+		tags[0] = tag
+		tr.RecordHook(Hook1, tag)
+		tr.AddStage(StageCS, sim.Millisecond, tag)
+		tr.RecordHook(Hook2, tag)
+		tr.AddStage(StageSP, sim.Millisecond, tag)
+		tr.RecordHook(Hook3, tag)
+		tr.AddStage(StagePS, sim.Millisecond, tag)
+		tr.RecordHook(Hook4, tag)
+		tr.AddStage(StageAL, sim.Millisecond, tag)
+		tr.RecordHookMulti(Hook5, tags)
+		tr.AddStage(StageRD, sim.Millisecond, tag)
+		tr.RecordHookMulti(Hook6, tags)
+		backup = EmbedTags(px, tags, backup[:0])
+		tr.AddStage(StageFC, sim.Millisecond, tag)
+		tr.RecordHookMulti(Hook7, tags)
+		tr.AddStage(StageAS, sim.Millisecond, tag)
+		got := ExtractTagsAppend(px, nil)
+		RestorePixels(px, backup)
+		tr.RecordHookMulti(Hook8, got)
+		tr.ServerFrameTick()
+		tr.AddStage(StageCP, sim.Millisecond, tag)
+		tr.RecordHookMulti(Hook9, got)
+		tr.AddStage(StageSS, sim.Millisecond, tag)
+		tr.RecordHookMulti(Hook10, got)
+		tr.ClientFrameTick()
+		if i%4096 == 4095 {
+			tr.Reset() // bound record growth like a warmup reset would
+		}
+	}
+}
+
+// BenchmarkStageSampleMiss hits the missing-stage query path, which
+// must not allocate (it used to build a fresh Sample per call).
+func BenchmarkStageSampleMiss(b *testing.B) {
+	tr := New(sim.NewKernel())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.StageSample(StageRD)
+	}
+}
+
+func BenchmarkEmbedExtractTags(b *testing.B) {
+	px := make([]float64, 48*32)
+	tags := []uint64{7, 11, 13}
+	var backup []float64
+	var out []uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		backup = EmbedTags(px, tags, backup[:0])
+		out = ExtractTagsAppend(px, out[:0])
+		RestorePixels(px, backup)
+	}
+	_ = out
+}

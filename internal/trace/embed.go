@@ -18,22 +18,23 @@ const MaxEmbeddedTags = 15
 func embeddedLen(n int) int { return 1 + 8*n }
 
 // EmbedTags writes the tags into the frame's leading pixels, returning
-// the displaced original values so hook8 can restore them. Frames too
-// small for the payload (or empty tag lists) return nil and are left
-// untouched.
-func EmbedTags(pixels []float64, tags []uint64) (saved []float64) {
+// the displaced original values so hook8 can restore them. The backup
+// is appended to reuse (pass a recycled buffer sliced to length 0 to
+// avoid the per-frame allocation; nil also works). Frames too small for
+// the payload (or empty tag lists) return reuse unmodified and leave
+// the pixels untouched.
+func EmbedTags(pixels []float64, tags []uint64, reuse []float64) (saved []float64) {
 	if len(tags) == 0 {
-		return nil
+		return reuse
 	}
 	if len(tags) > MaxEmbeddedTags {
 		tags = tags[:MaxEmbeddedTags]
 	}
 	n := embeddedLen(len(tags))
 	if len(pixels) < n {
-		return nil
+		return reuse
 	}
-	saved = make([]float64, n)
-	copy(saved, pixels[:n])
+	saved = append(reuse, pixels[:n]...)
 	pixels[0] = float64(len(tags)) / 255
 	for i, tag := range tags {
 		for b := 0; b < 8; b++ {
@@ -46,30 +47,38 @@ func EmbedTags(pixels []float64, tags []uint64) (saved []float64) {
 // ExtractTags reads tags embedded by EmbedTags. It returns nil when the
 // header is implausible (count 0 or too large for the buffer).
 func ExtractTags(pixels []float64) []uint64 {
-	if len(pixels) == 0 {
+	out := ExtractTagsAppend(pixels, nil)
+	if len(out) == 0 {
 		return nil
+	}
+	return out
+}
+
+// ExtractTagsAppend reads tags embedded by EmbedTags, appending them to
+// dst (pass a recycled buffer sliced to length 0 to avoid the per-frame
+// allocation). An implausible header (count 0 or too large for the
+// buffer) appends nothing.
+func ExtractTagsAppend(pixels []float64, dst []uint64) []uint64 {
+	if len(pixels) == 0 {
+		return dst
 	}
 	count := int(pixels[0]*255 + 0.5)
 	if count <= 0 || count > MaxEmbeddedTags || len(pixels) < embeddedLen(count) {
-		return nil
+		return dst
 	}
-	tags := make([]uint64, count)
-	for i := range tags {
+	for i := 0; i < count; i++ {
 		var tag uint64
 		for b := 0; b < 8; b++ {
 			byteVal := uint64(pixels[1+i*8+b]*255 + 0.5)
 			tag |= byteVal << (8 * b)
 		}
-		tags[i] = tag
+		dst = append(dst, tag)
 	}
-	return tags
+	return dst
 }
 
 // RestorePixels writes the saved original values back over the embedded
-// region. A nil saved slice is a no-op.
+// region. A nil or empty saved slice is a no-op.
 func RestorePixels(pixels []float64, saved []float64) {
-	if saved == nil {
-		return
-	}
 	copy(pixels, saved)
 }

@@ -61,15 +61,82 @@ const (
 // Stages lists all stages in pipeline order.
 var Stages = []Stage{StageCS, StageSP, StagePS, StageAL, StageRD, StageFC, StageAS, StageCP, StageSS}
 
+// The fixed-size stage storage in TagRecord and the stageIndex switch
+// must stay in lockstep with Stages; drift would silently drop per-tag
+// records, so it fails loudly at init instead.
+func init() {
+	if len(Stages) != numStages {
+		panic("trace: Stages and TagRecord stage storage out of sync")
+	}
+	for i, s := range Stages {
+		if stageIndex(s) != i {
+			panic("trace: stageIndex out of sync with Stages for " + string(s))
+		}
+	}
+}
+
+// numStages is the size of TagRecord's per-stage storage.
+const numStages = 9
+
+// stageIndex maps a stage to its ordinal in Stages (-1 if unknown).
+func stageIndex(s Stage) int {
+	switch s {
+	case StageCS:
+		return 0
+	case StageSP:
+		return 1
+	case StagePS:
+		return 2
+	case StageAL:
+		return 3
+	case StageRD:
+		return 4
+	case StageFC:
+		return 5
+	case StageAS:
+		return 6
+	case StageCP:
+		return 7
+	case StageSS:
+		return 8
+	}
+	return -1
+}
+
 // HookCPUCost is the CPU time one enabled hook charges its caller.
 const HookCPUCost = 18 * sim.Microsecond
 
 // TagRecord accumulates everything observed about one tagged input.
+// Hook timestamps and stage latencies live in fixed arrays with
+// presence bits — the hook set and the stage set are static — so
+// creating a record costs one allocation, not three (records are made
+// per input on the measurement path).
 type TagRecord struct {
 	Tag      uint64
-	Hooks    map[Hook]sim.Time
-	Stages   map[Stage]sim.Duration
 	Complete bool
+
+	hooks   [Hook10 + 1]sim.Time
+	hookSet uint16 // bit h set ⇔ hook h recorded
+
+	stages   [numStages]sim.Duration
+	stageSet uint16 // bit stageIndex(s) set ⇔ stage s recorded
+}
+
+// Hook reports the timestamp recorded for a hook crossing.
+func (r *TagRecord) Hook(h Hook) (sim.Time, bool) {
+	if h < Hook1 || h > Hook10 || r.hookSet&(1<<uint(h)) == 0 {
+		return 0, false
+	}
+	return r.hooks[h], true
+}
+
+// Stage reports the latency recorded for a pipeline stage.
+func (r *TagRecord) Stage(s Stage) (sim.Duration, bool) {
+	i := stageIndex(s)
+	if i < 0 || r.stageSet&(1<<uint(i)) == 0 {
+		return 0, false
+	}
+	return r.stages[i], true
 }
 
 // Tracer is one instance's measurement context.
@@ -84,11 +151,12 @@ type Tracer struct {
 	stageSamples map[Stage]*stats.Sample
 	rttSample    stats.Sample
 
-	serverFrames stats.Counter
-	clientFrames stats.Counter
+	serverFrames      stats.Counter
+	clientFrames      stats.Counter
 	droppedAtCoalesce int64
 
-	started sim.Time
+	started  sim.Time
+	sizeHint int
 }
 
 // New creates an enabled tracer.
@@ -106,6 +174,20 @@ func New(k *sim.Kernel) *Tracer {
 // SetEnabled switches the analysis framework on or off (the paper's
 // overhead experiment runs the suite both ways).
 func (t *Tracer) SetEnabled(e bool) { t.enabled = e }
+
+// SizeHint pre-sizes the RTT and stage samples for an expected number
+// of observations (derived from the configured measurement window), so
+// steady-state sampling never re-grows its backing arrays.
+func (t *Tracer) SizeHint(n int) {
+	if n <= 0 {
+		return
+	}
+	t.sizeHint = n
+	t.rttSample.Grow(n)
+	for _, sm := range t.stageSamples {
+		sm.Grow(n)
+	}
+}
 
 // Enabled reports whether tracing is active.
 func (t *Tracer) Enabled() bool { return t.enabled }
@@ -130,7 +212,7 @@ func (t *Tracer) NextTag() uint64 {
 func (t *Tracer) record(tag uint64) *TagRecord {
 	r, ok := t.records[tag]
 	if !ok {
-		r = &TagRecord{Tag: tag, Hooks: make(map[Hook]sim.Time), Stages: make(map[Stage]sim.Duration)}
+		r = &TagRecord{Tag: tag}
 		t.records[tag] = r
 		t.order = append(t.order, tag)
 	}
@@ -140,16 +222,17 @@ func (t *Tracer) record(tag uint64) *TagRecord {
 // RecordHook timestamps a hook crossing for a tag. Hook10 completes the
 // input's round trip and records its RTT.
 func (t *Tracer) RecordHook(h Hook, tag uint64) {
-	if !t.enabled || tag == 0 {
+	if !t.enabled || tag == 0 || h < Hook1 || h > Hook10 {
 		return
 	}
 	r := t.record(tag)
-	if _, dup := r.Hooks[h]; dup {
+	if r.hookSet&(1<<uint(h)) != 0 {
 		return // e.g. a retransmitted frame; first observation wins
 	}
-	r.Hooks[h] = t.k.Now()
+	r.hookSet |= 1 << uint(h)
+	r.hooks[h] = t.k.Now()
 	if h == Hook10 {
-		if t1, ok := r.Hooks[Hook1]; ok && !r.Complete {
+		if t1, ok := r.Hook(Hook1); ok && !r.Complete {
 			r.Complete = true
 			t.rttSample.Add(t.k.Now().Sub(t1).Seconds() * 1e3) // ms
 		}
@@ -174,16 +257,22 @@ func (t *Tracer) AddStage(s Stage, d sim.Duration, tags ...uint64) {
 	sm, ok := t.stageSamples[s]
 	if !ok {
 		sm = &stats.Sample{}
+		sm.Grow(t.sizeHint)
 		t.stageSamples[s] = sm
 	}
 	sm.Add(float64(d) / float64(sim.Millisecond))
+	si := stageIndex(s)
+	if si < 0 {
+		return
+	}
 	for _, tag := range tags {
 		if tag == 0 {
 			continue
 		}
 		r := t.record(tag)
-		if _, dup := r.Stages[s]; !dup {
-			r.Stages[s] = d
+		if r.stageSet&(1<<uint(si)) == 0 {
+			r.stageSet |= 1 << uint(si)
+			r.stages[si] = d
 		}
 	}
 }
@@ -215,13 +304,20 @@ func (t *Tracer) ClientFrameCount() int64 { return t.clientFrames.Count() }
 // RTTs returns the RTT sample (milliseconds).
 func (t *Tracer) RTTs() *stats.Sample { return &t.rttSample }
 
+// emptySample is the canonical empty sample returned for never-recorded
+// stages. Shared and read-only by contract: StageSample callers only
+// query. Returning it instead of allocating matters because result
+// collection queries every stage of every instance, traced or not.
+var emptySample = &stats.Sample{}
+
 // StageSample returns the aggregate latency sample for a stage
-// (milliseconds); empty sample if never recorded.
+// (milliseconds); a shared canonical empty sample if never recorded
+// (read-only — do not Add to the returned sample).
 func (t *Tracer) StageSample(s Stage) *stats.Sample {
 	if sm, ok := t.stageSamples[s]; ok {
 		return sm
 	}
-	return &stats.Sample{}
+	return emptySample
 }
 
 // Records returns all tag records in tag order.
@@ -237,12 +333,16 @@ func (t *Tracer) Records() []*TagRecord {
 func (t *Tracer) CompletedRTTCount() int { return t.rttSample.N() }
 
 // Reset clears all measurements, restarting at the current sim time
-// (used to discard warmup).
+// (used to discard warmup). Maps and sample arrays are retained and
+// cleared in place: the end-of-warmup reset must not hand the hot
+// measurement window freshly shrunken buffers.
 func (t *Tracer) Reset() {
-	t.records = make(map[uint64]*TagRecord)
-	t.order = nil
-	t.stageSamples = make(map[Stage]*stats.Sample)
-	t.rttSample = stats.Sample{}
+	clear(t.records)
+	t.order = t.order[:0]
+	for _, sm := range t.stageSamples {
+		sm.Reset()
+	}
+	t.rttSample.Reset()
 	t.serverFrames = stats.Counter{}
 	t.clientFrames = stats.Counter{}
 	t.droppedAtCoalesce = 0

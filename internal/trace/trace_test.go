@@ -83,7 +83,8 @@ func TestStageAccounting(t *testing.T) {
 		t.Fatalf("AL sample = n%d mean%v, want n2 mean13", s.N(), s.Mean())
 	}
 	recs := tr.Records()
-	if len(recs) != 1 || recs[0].Stages[StageAL] != 12*sim.Millisecond {
+	al, ok := recs[0].Stage(StageAL)
+	if len(recs) != 1 || !ok || al != 12*sim.Millisecond {
 		t.Fatal("per-tag stage not recorded")
 	}
 }
@@ -94,7 +95,7 @@ func TestPerTagStageFirstObservationWins(t *testing.T) {
 	tag := tr.NextTag()
 	tr.AddStage(StageCP, 5*sim.Millisecond, tag)
 	tr.AddStage(StageCP, 50*sim.Millisecond, tag)
-	if got := tr.Records()[0].Stages[StageCP]; got != 5*sim.Millisecond {
+	if got, ok := tr.Records()[0].Stage(StageCP); !ok || got != 5*sim.Millisecond {
 		t.Fatalf("per-tag CP = %v, want first observation 5ms", got)
 	}
 }
@@ -151,7 +152,7 @@ func TestEmbedExtractRoundTrip(t *testing.T) {
 		px[i] = 0.5
 	}
 	tags := []uint64{1, 0xDEADBEEF, 1 << 62}
-	saved := EmbedTags(px, tags)
+	saved := EmbedTags(px, tags, nil)
 	if saved == nil {
 		t.Fatal("embed failed")
 	}
@@ -168,10 +169,10 @@ func TestEmbedExtractRoundTrip(t *testing.T) {
 }
 
 func TestEmbedEmptyAndTooSmall(t *testing.T) {
-	if EmbedTags(make([]float64, 100), nil) != nil {
+	if EmbedTags(make([]float64, 100), nil, nil) != nil {
 		t.Fatal("embedding no tags should be a no-op")
 	}
-	if EmbedTags(make([]float64, 3), []uint64{1}) != nil {
+	if EmbedTags(make([]float64, 3), []uint64{1}, nil) != nil {
 		t.Fatal("embedding into a tiny frame should fail")
 	}
 	if ExtractTags(nil) != nil {
@@ -185,7 +186,7 @@ func TestEmbedCapsTagCount(t *testing.T) {
 	for i := range tags {
 		tags[i] = uint64(i + 1)
 	}
-	EmbedTags(px, tags)
+	EmbedTags(px, tags, nil)
 	got := ExtractTags(px)
 	if len(got) != MaxEmbeddedTags {
 		t.Fatalf("extracted %d tags, want cap %d", len(got), MaxEmbeddedTags)
@@ -227,7 +228,7 @@ func TestEmbedRoundTripProperty(t *testing.T) {
 			px[i] = v
 		}
 		orig := append([]float64(nil), px...)
-		saved := EmbedTags(px, valid)
+		saved := EmbedTags(px, valid, nil)
 		got := ExtractTags(px)
 		if len(got) != len(valid) {
 			return false

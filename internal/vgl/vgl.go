@@ -135,7 +135,7 @@ func (ip *Interposer) CopyFrame(h *gl.RenderHandle, finished func(), delivered f
 				ip.proc.Run(memcpy, func() {
 					frame := h.Frame
 					ip.tracer.RecordHookMulti(trace.Hook6, frame.Tags)
-					frame.PixelBackup = trace.EmbedTags(frame.Pixels, frame.Tags)
+					frame.PixelBackup = trace.EmbedTags(frame.Pixels, frame.Tags, frame.PixelBackup[:0])
 					ip.copies++
 					ip.tracer.AddStage(trace.StageFC, ip.k.Now().Sub(start), frame.Tags...)
 					finished()

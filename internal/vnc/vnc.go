@@ -53,6 +53,9 @@ type ServerProxy struct {
 	busy    bool
 	pending *scene.Frame
 	sending bool
+
+	// tagMerge is scratch for coalescing tag lists without allocating.
+	tagMerge []uint64
 }
 
 // NewServerProxy creates the server proxy. Wire frame delivery to the
@@ -110,17 +113,22 @@ func (s *ServerProxy) HandleFrame(f *scene.Frame) {
 		s.proc.Run(msToDur(s.costs.ReceiveMs)+s.tracer.HookCost(), func() {
 			// hook8: recover tags embedded in the pixels, restore the
 			// displaced values. The pixel-borne tags are authoritative
-			// across the IPC boundary.
-			tags := trace.ExtractTags(f.Pixels)
+			// across the IPC boundary; they land in the frame's own
+			// (recycled) tag storage.
+			f.Tags = trace.ExtractTagsAppend(f.Pixels, f.Tags[:0])
 			trace.RestorePixels(f.Pixels, f.PixelBackup)
-			f.PixelBackup = nil
-			f.Tags = tags
-			s.tracer.RecordHookMulti(trace.Hook8, tags)
+			f.PixelBackup = f.PixelBackup[:0]
+			s.tracer.RecordHookMulti(trace.Hook8, f.Tags)
 			s.tracer.ServerFrameTick()
-			if s.pending != nil {
-				// Newest frame wins, but answered inputs keep their tags.
-				f.Tags = append(append([]uint64(nil), s.pending.Tags...), f.Tags...)
+			if old := s.pending; old != nil {
+				// Newest frame wins, but answered inputs keep their tags
+				// (in arrival order — RTT accumulation order is part of
+				// the determinism contract). The superseded frame goes
+				// back to the scene's free list.
+				s.tagMerge = append(append(s.tagMerge[:0], old.Tags...), f.Tags...)
+				f.Tags = append(f.Tags[:0], s.tagMerge...)
 				s.tracer.FrameDropped()
+				old.Release()
 			}
 			s.pending = f
 			done()
@@ -188,7 +196,9 @@ type Driver interface {
 	// Attach hands the driver its input-sending function before the run
 	// starts.
 	Attach(send func(scene.Action))
-	// OnFrame delivers one displayed frame.
+	// OnFrame delivers one displayed frame. The driver takes ownership:
+	// it calls Frame.Release once done with the frame (drivers that
+	// don't recycle simply let the release be the frame's last use).
 	OnFrame(f *scene.Frame)
 }
 
@@ -223,11 +233,15 @@ func (c *ClientProxy) SendInput(a scene.Action) {
 }
 
 // handleFrame completes the round trip (hook10), counts the client
-// frame, and hands the decompressed frame to the driver.
+// frame, and hands the decompressed frame to the driver. Ownership of
+// the frame passes to the driver, which releases it (immediately or,
+// for the intelligent client, once analyzed); with no driver it goes
+// straight back to the scene's free list.
 func (c *ClientProxy) handleFrame(f *scene.Frame) {
 	c.tracer.RecordHookMulti(trace.Hook10, f.Tags)
 	c.tracer.ClientFrameTick()
 	if c.driver == nil {
+		f.Release()
 		return
 	}
 	c.k.After(codec.DecompressTime(f.CompressedBytes), func() {

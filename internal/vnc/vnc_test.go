@@ -46,7 +46,7 @@ func taggedFrame(tr *trace.Tracer, tags ...uint64) *scene.Frame {
 		Pixels: make([]float64, scene.FrameW*scene.FrameH),
 		Tags:   tags,
 	}
-	f.PixelBackup = trace.EmbedTags(f.Pixels, tags)
+	f.PixelBackup = trace.EmbedTags(f.Pixels, tags, nil)
 	return f
 }
 

@@ -44,10 +44,14 @@ func (d *Display) Push(in proto.Input) {
 }
 
 // Drain removes and returns all queued events (the application calling
-// XNextEvent until empty at the top of its logic loop).
+// XNextEvent until empty at the top of its logic loop). The returned
+// slice is the queue's own storage, valid until the next Push: the
+// caller consumes it synchronously (as XNextEvent semantics imply), and
+// reusing the backing array keeps the per-tick event path
+// allocation-free.
 func (d *Display) Drain() []proto.Input {
 	out := d.queue
-	d.queue = nil
+	d.queue = d.queue[:0]
 	return out
 }
 

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Parse `go test -bench` output into BENCH_single_trial.json.
+
+Usage: benchjson.py BENCH_OUTPUT_FILE JSON_PATH [SECTION]
+
+Records ns/op, B/op and allocs/op per benchmark under the given section
+(default "current"). Other sections already in the JSON file — notably
+the pinned "baseline" section recording the pre-optimization numbers —
+are preserved, so the perf trajectory accumulates instead of resetting.
+"""
+import json
+import re
+import subprocess
+import sys
+
+LINE = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?"
+)
+
+
+def parse(path):
+    out = {}
+    with open(path) as fh:
+        for line in fh:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            name, iters, ns, bop, allocs = m.groups()
+            rec = {"iterations": int(iters), "ns_op": float(ns)}
+            if bop is not None:
+                rec["b_op"] = float(bop)
+                rec["allocs_op"] = float(allocs)
+            out[name] = rec
+    return out
+
+
+def main():
+    bench_out, json_path = sys.argv[1], sys.argv[2]
+    section = sys.argv[3] if len(sys.argv) > 3 else "current"
+    try:
+        with open(json_path) as fh:
+            doc = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        doc = {}
+    doc.setdefault("units", {"time": "ns/op", "mem": "B/op", "allocs": "allocs/op"})
+    commit = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+    ).stdout.strip() or "unknown"
+    doc[section] = {"commit": commit, "benchmarks": parse(bench_out)}
+    with open(json_path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(doc[section]['benchmarks'])} benchmarks to {json_path} [{section}]")
+
+
+if __name__ == "__main__":
+    main()
