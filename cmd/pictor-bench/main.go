@@ -5,12 +5,15 @@
 //
 //	pictor-bench -exp fig10 [-seconds 60] [-seed 1] [-parallel 8] [-reps 3]
 //	pictor-bench -exp grid
+//	pictor-bench -exp fleet -machines 4 -policy binpack [-mix heavy] [-requests 16]
 //	pictor-bench -exp all
 //
 // Experiment ids: tab2 tab3 tab4 fig6 fig7 overhead fig8 fig9 fig10
 // fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
-// fig22 grid. "grid" runs the complete evaluation as one flat trial
-// grid on the parallel experiment runner.
+// fig22 grid fleet. "grid" runs the complete evaluation as one flat
+// trial grid on the parallel experiment runner; "fleet" goes beyond the
+// paper's single server and consolidates an instance-request stream
+// across a multi-machine fleet under every placement policy.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"pictor/internal/app"
 	"pictor/internal/core"
 	"pictor/internal/exp"
+	"pictor/internal/fleet"
 	"pictor/internal/sim"
 	"pictor/internal/trace"
 )
@@ -35,6 +39,10 @@ func main() {
 	instances := flag.Int("max-instances", 4, "sweep upper bound for figs 10–17")
 	parallel := flag.Int("parallel", 0, "experiment-runner workers (0 = all cores); applies to batched experiments (grid, sweeps, multi-trial figures) and across -reps")
 	reps := flag.Int("reps", 1, "repetitions per trial with derived seeds")
+	machines := flag.Int("machines", 4, "fleet experiment: server machine count")
+	policy := flag.String("policy", fleet.PolicyBinPack, fmt.Sprintf("fleet experiment: placement policy to detail %v", fleet.PolicyNames()))
+	mix := flag.String("mix", string(fleet.MixSuite), fmt.Sprintf("fleet experiment: arrival mix %v", fleet.Mixes()))
+	requests := flag.Int("requests", 0, "fleet experiment: instance-request stream length (0 = 3 per machine)")
 	flag.Parse()
 
 	cfg := core.DefaultExperimentConfig()
@@ -54,6 +62,9 @@ func main() {
 		"fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
 		"fig16": fig16, "fig17": fig17, "fig18": fig18, "fig19": fig19,
 		"fig20": fig20, "fig21": fig21, "fig22": fig22, "grid": grid,
+		"fleet": func(cfg core.ExperimentConfig) {
+			fleetExp(cfg, *machines, *policy, *mix, *requests)
+		},
 	}
 	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -337,4 +348,56 @@ func grid(cfg core.ExperimentConfig) {
 			prof.Name, c.FPSOverheadPct, o.ServerFPSGain, v.OverheadPct)
 	}
 	fmt.Printf("\ngrid complete in %s (wall)\n", elapsed.Round(time.Millisecond))
+}
+
+// fleetExp consolidates an instance-request stream across a
+// multi-machine fleet: a detailed per-machine breakdown under the
+// selected policy, then the same shape under every placement policy as
+// one batch on the parallel runner.
+func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, requests int) {
+	if machines < 1 {
+		machines = 1
+	}
+	if requests < 1 {
+		requests = 3 * machines
+	}
+	if _, err := fleet.NewPolicy(policy, nil); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if _, err := fleet.RequestStream(fleet.Mix(mix), 1, 1); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	shape := exp.FleetShape{Machines: machines, Policy: policy, Mix: mix, Requests: requests}
+
+	fmt.Printf("fleet: %d machines × %d cores, %d requests (%s mix), %d workers, %d rep(s)\n\n",
+		machines, fleet.DefaultMachineCores, requests, mix,
+		exp.EffectiveParallel(cfg.Parallel), exp.EffectiveReps(cfg.Reps))
+
+	r := core.RunFleetConsolidation(shape, cfg)
+	fmt.Printf("policy %s: placed %d, rejected %d, QoS violations %d, fleet power %.1f W\n",
+		r.Policy, r.Placed, r.Rejected, r.QoSViolations, r.TotalPowerWatts)
+	for _, m := range r.Machines {
+		fmt.Printf("  machine %d  (predicted %.1f cores, %.1f W)", m.Machine, m.PredictedDemand, m.PowerWatts)
+		if len(m.Results) == 0 {
+			fmt.Printf("  idle\n")
+			continue
+		}
+		fmt.Printf("  RTT %.1f ms (p99 %.1f)\n", m.RTT.Mean, m.RTT.P99)
+		for _, ir := range m.Results {
+			qos := ""
+			if ir.ClientFPS < fleet.QoSMinFPS {
+				qos = "  [QoS violation]"
+			}
+			fmt.Printf("    %-8s srv %5.1f fps  cli %5.1f fps  RTT %6.1f ms%s\n",
+				ir.Benchmark, ir.ServerFPS, ir.ClientFPS, ir.RTT.Mean, qos)
+		}
+	}
+
+	fmt.Printf("\npolicy comparison (same fleet, same stream):\n")
+	start := time.Now()
+	rs := core.RunFleetComparison(shape, cfg)
+	fmt.Print(core.FleetComparisonTable(rs))
+	fmt.Printf("comparison complete in %s (wall)\n", time.Since(start).Round(time.Millisecond))
 }

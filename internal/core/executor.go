@@ -20,6 +20,10 @@ type TrialResult struct {
 	// the human run's raw trace). Nil otherwise, so grids release each
 	// simulated machine as soon as its trial finishes.
 	Cluster *Cluster
+	// Fleet holds the multi-server outcome when the trial has a fleet
+	// shape; Results is empty in that case (instances live under
+	// Fleet.Machines).
+	Fleet *FleetResult
 }
 
 // ExecuteTrial builds a cluster for the trial, runs it, and snapshots
@@ -28,6 +32,10 @@ type TrialResult struct {
 // the unit, so trials can run on any worker in any order and still
 // produce byte-identical results.
 func ExecuteTrial(t exp.Trial, u exp.Unit) TrialResult {
+	if t.Fleet != nil {
+		fr := executeFleet(t, u)
+		return TrialResult{Rep: u.Rep, Seed: u.Seed, Fleet: fr, PowerWatts: fr.TotalPowerWatts}
+	}
 	cl := NewCluster(Options{Seed: u.Seed})
 	for _, spec := range t.Instances {
 		cl.AddInstance(instanceConfigOf(spec))

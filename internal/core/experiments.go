@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"pictor/internal/app"
 	"pictor/internal/baselines"
@@ -568,33 +567,14 @@ func RunSuiteGrid(cfg ExperimentConfig) SuiteGridResult {
 // ---------------------------------------------------------------------------
 // Presentation helpers
 
-// FormatTable renders rows with a header as an aligned text table.
+// FormatTable renders rows with a header as an aligned text table
+// (thin wrapper over stats.Table, kept for the existing callers).
 func FormatTable(header []string, rows [][]string) string {
-	width := make([]int, len(header))
-	for i, h := range header {
-		width[i] = len(h)
-	}
+	t := stats.NewTable(header...)
 	for _, r := range rows {
-		for i, c := range r {
-			if i < len(width) && len(c) > width[i] {
-				width[i] = len(c)
-			}
-		}
+		t.Row(r...)
 	}
-	var b strings.Builder
-	line := func(cols []string) {
-		for i, c := range cols {
-			if i < len(width) {
-				fmt.Fprintf(&b, "%-*s  ", width[i], c)
-			}
-		}
-		b.WriteString("\n")
-	}
-	line(header)
-	for _, r := range rows {
-		line(r)
-	}
-	return b.String()
+	return t.String()
 }
 
 // SortedPairNames lists the 15 unordered benchmark pairs of Figure 18.

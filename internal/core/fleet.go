@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"pictor/internal/app"
+	"pictor/internal/exp"
+	"pictor/internal/fleet"
+	"pictor/internal/sim"
+	"pictor/internal/stats"
+)
+
+// MachineResult is one fleet machine's outcome: its placed instances'
+// measurements plus machine-level rollups.
+type MachineResult struct {
+	// Machine is the machine's fleet index.
+	Machine int
+	// Results holds the placed instances' measurements, in admission
+	// order.
+	Results []InstanceResult
+	// PredictedDemand is the placement-time CPU-demand estimate the
+	// policy acted on (cores).
+	PredictedDemand float64
+	// PowerWatts is the machine's modelled wall power (idle machines
+	// still burn idle watts — that is the point of bin-packing).
+	PowerWatts float64
+	// RTT pools the placed instances' RTT distributions.
+	RTT stats.Summary
+	// QoSViolations counts instances below the 25-FPS interactivity
+	// floor (fleet.QoSMinFPS).
+	QoSViolations int
+}
+
+// FleetResult is the outcome of one multi-server consolidation trial.
+type FleetResult struct {
+	// Policy and Mix echo the executed shape.
+	Policy string
+	Mix    string
+	// Requests is the arrival stream (profile names in admission
+	// order). It is derived policy-independently, so every policy of a
+	// comparison consolidates the identical stream.
+	Requests []string
+	// Machines holds per-machine results, index-aligned with the fleet.
+	Machines []MachineResult
+	// Placed and Rejected partition the request stream: admission turns
+	// a request away when no machine has overcommitted capacity left.
+	Placed   int
+	Rejected int
+	// QoSViolations counts placed instances below the 25-FPS floor,
+	// fleet-wide.
+	QoSViolations int
+	// TotalPowerWatts sums wall power over all machines, idle included.
+	TotalPowerWatts float64
+	// RTT pools every placed instance's RTT distribution.
+	RTT stats.Summary
+}
+
+// executeFleet lowers a fleet-shaped trial onto real clusters: generate
+// the request stream, place it with the named policy, then build and
+// run one cluster per machine. Machine clusters run sequentially inside
+// the unit — the runner already shards trials across workers — with
+// per-machine seeds derived from the unit seed, so results are
+// byte-identical at any parallelism level.
+func executeFleet(t exp.Trial, u exp.Unit) *FleetResult {
+	sh := *t.Fleet
+	if sh.Machines < 1 {
+		sh.Machines = 1
+	}
+	if sh.MachineCores <= 0 {
+		sh.MachineCores = fleet.DefaultMachineCores
+	}
+	// The stream seed must be policy-independent: u.Seed derives from
+	// the trial key, which names the policy, so deriving the stream
+	// from it would hand every policy of a comparison a *different*
+	// random arrival stream on reps >= 1. Deriving from the trial's
+	// pinned seed and the stream's own parameters keeps the streams
+	// matched across policies (and still distinct per rep and mix);
+	// u.Seed is the fallback only when no seed was pinned.
+	streamBase := t.Seed
+	if streamBase == 0 {
+		streamBase = u.Seed
+	}
+	streamKey := fmt.Sprintf("fleet/mix|%s|%d", sh.Mix, sh.Requests)
+	reqs, err := fleet.RequestStream(fleet.Mix(sh.Mix), sh.Requests, exp.DeriveSeed(streamBase, streamKey, u.Rep))
+	if err != nil {
+		panic(fmt.Sprintf("core: fleet trial %q: %v", t.ID, err))
+	}
+	var it *fleet.Interference
+	if sh.Policy == fleet.PolicyBinPack {
+		it = PairInterference()
+	}
+	pol, err := fleet.NewPolicy(sh.Policy, it)
+	if err != nil {
+		panic(fmt.Sprintf("core: fleet trial %q: %v", t.ID, err))
+	}
+
+	f := fleet.New(sh.Machines, float64(sh.MachineCores))
+	f.Admit(reqs, pol)
+
+	out := &FleetResult{
+		Policy:   pol.Name(),
+		Mix:      string(sh.Mix),
+		Requests: make([]string, len(reqs)),
+		Machines: make([]MachineResult, len(f.Machines)),
+		Rejected: len(f.Rejected),
+	}
+	if out.Mix == "" {
+		out.Mix = string(fleet.MixSuite)
+	}
+	for i, r := range reqs {
+		out.Requests[i] = r.Name
+	}
+	var fleetRTTs []stats.Summary
+	for mi, m := range f.Machines {
+		cl := NewCluster(Options{
+			Seed:  exp.DeriveSeed(u.Seed, "fleet/machine", mi),
+			Cores: sh.MachineCores,
+		})
+		for _, prof := range m.Placed {
+			cl.AddInstance(NewInstanceConfig(prof, HumanDriver()))
+		}
+		cl.Run(sim.DurationOfSeconds(t.Warmup), sim.DurationOfSeconds(t.Measure))
+
+		mr := MachineResult{
+			Machine:         mi,
+			Results:         make([]InstanceResult, len(cl.Instances)),
+			PredictedDemand: m.Demand,
+			PowerWatts:      cl.TotalPowerWatts(),
+		}
+		var machineRTTs []stats.Summary
+		for i, inst := range cl.Instances {
+			r := inst.Result()
+			mr.Results[i] = r
+			if r.ClientFPS < fleet.QoSMinFPS {
+				mr.QoSViolations++
+			}
+			if r.RTT.N > 0 {
+				machineRTTs = append(machineRTTs, r.RTT)
+			}
+		}
+		mr.RTT = exp.PoolSummaries(machineRTTs)
+		fleetRTTs = append(fleetRTTs, machineRTTs...)
+
+		out.Machines[mi] = mr
+		out.Placed += len(mr.Results)
+		out.QoSViolations += mr.QoSViolations
+		out.TotalPowerWatts += mr.PowerWatts
+	}
+	out.RTT = exp.PoolSummaries(fleetRTTs)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Pair interference (placement input for the bin-packing policy)
+
+// interferenceSeed and the short windows below fix the internal
+// co-location measurement, so the table — and everything placed with it
+// — is identical in every process regardless of caller configuration.
+const interferenceSeed = 0xB1DC0DE
+
+var (
+	interferenceOnce  sync.Once
+	interferenceTable *fleet.Interference
+)
+
+// PairInterference measures the co-location penalty of every unordered
+// benchmark pair (self-pairs included): the §5.3 experiment, reduced to
+// one number per pair — the mean relative server-FPS loss of running
+// paired vs solo. It runs 6 solo + 21 pair trials with short fixed-seed
+// windows, once per process (cached, like TrainedModels), and is the
+// placement input for the profile-affinity bin-packing policy.
+func PairInterference() *fleet.Interference {
+	interferenceOnce.Do(func() {
+		cfg := ExperimentConfig{WarmupSeconds: 1, Seconds: 5, Seed: interferenceSeed, Parallel: 1}
+		suite := app.Suite()
+
+		trials := make([]exp.Trial, 0, len(suite)+len(suite)*(len(suite)+1)/2)
+		for _, p := range suite {
+			trials = append(trials, characterizationTrial(p, 1, exp.DriverHuman, cfg))
+		}
+		type pair struct{ a, b int }
+		var pairs []pair
+		for i := range suite {
+			for j := i; j < len(suite); j++ {
+				pairs = append(pairs, pair{i, j})
+				trials = append(trials, pairTrial(suite[i], suite[j], cfg))
+			}
+		}
+
+		res := RunTrials(trials, cfg)
+		solo := make(map[string]float64, len(suite))
+		for i, p := range suite {
+			solo[p.Name] = res[i][0].Results[0].ServerFPS
+		}
+		it := fleet.NewInterference()
+		for pi, pr := range pairs {
+			rs := res[len(suite)+pi][0].Results
+			a, b := suite[pr.a].Name, suite[pr.b].Name
+			loss := func(name string, got float64) float64 {
+				if solo[name] <= 0 {
+					return 0
+				}
+				l := (solo[name] - got) / solo[name]
+				if l < 0 {
+					return 0
+				}
+				return l
+			}
+			it.Set(a, b, (loss(a, rs[0].ServerFPS)+loss(b, rs[1].ServerFPS))/2)
+		}
+		interferenceTable = it
+	})
+	return interferenceTable
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+
+// fleetTrial builds the runner trial for a fleet shape with the
+// config's windows and pinned seed.
+func fleetTrial(shape exp.FleetShape, cfg ExperimentConfig) exp.Trial {
+	t := exp.FleetTrial(shape)
+	t.Warmup, t.Measure, t.Seed = cfg.WarmupSeconds, cfg.Seconds, cfg.Seed
+	pol := shape.Policy
+	if pol == "" {
+		pol = fleet.PolicyRoundRobin
+	}
+	mix := shape.Mix
+	if mix == "" {
+		mix = string(fleet.MixSuite)
+	}
+	t.ID = fmt.Sprintf("fleet/%s/%s/m%d×r%d", pol, mix, shape.Machines, shape.Requests)
+	return t
+}
+
+// mergeFleet folds a fleet trial's repetitions: fleet-scope scalars
+// average and RTT distributions pool across seeds. Per-machine detail
+// comes from the first repetition — randomized mixes place differently
+// under different derived seeds, so machines do not align across reps.
+func mergeFleet(reps []TrialResult) FleetResult {
+	out := *reps[0].Fleet
+	if len(reps) == 1 {
+		return out
+	}
+	inv := 1 / float64(len(reps))
+	power, placed, rejected, qos := 0.0, 0.0, 0.0, 0.0
+	rtts := make([]stats.Summary, 0, len(reps))
+	for _, r := range reps {
+		fr := r.Fleet
+		power += fr.TotalPowerWatts * inv
+		placed += float64(fr.Placed) * inv
+		rejected += float64(fr.Rejected) * inv
+		qos += float64(fr.QoSViolations) * inv
+		if fr.RTT.N > 0 {
+			rtts = append(rtts, fr.RTT)
+		}
+	}
+	out.TotalPowerWatts = power
+	out.Placed = int(placed + 0.5)
+	out.Rejected = int(rejected + 0.5)
+	out.QoSViolations = int(qos + 0.5)
+	out.RTT = exp.PoolSummaries(rtts)
+	return out
+}
+
+// validateFleetShape rejects unknown policy or mix names before any
+// trial reaches the parallel runner: a worker panic mid-grid is
+// unattributable, a caller-goroutine panic with the valid names is
+// actionable. (The experiment entry points have no error returns —
+// like SuiteByName, invalid fixed vocabulary panics by contract.)
+func validateFleetShape(shape exp.FleetShape) {
+	if _, err := fleet.NewPolicy(shape.Policy, nil); err != nil {
+		panic("core: " + err.Error())
+	}
+	if _, err := fleet.RequestStream(fleet.Mix(shape.Mix), 1, 1); err != nil {
+		panic("core: " + err.Error())
+	}
+}
+
+// RunFleetConsolidation places the shape's request stream across its
+// machines with the shape's policy and runs every machine, reporting
+// per-machine RTT distributions, QoS-violation counts and fleet-wide
+// power. With cfg.Reps > 1 fleet-scope numbers aggregate across derived
+// seeds (see mergeFleet). Unknown policy or mix names panic immediately
+// (the vocabulary is fixed — see fleet.PolicyNames and fleet.Mixes).
+func RunFleetConsolidation(shape exp.FleetShape, cfg ExperimentConfig) FleetResult {
+	validateFleetShape(shape)
+	return mergeFleet(RunTrials([]exp.Trial{fleetTrial(shape, cfg)}, cfg)[0])
+}
+
+// RunFleetComparison runs the shape under every placement policy as one
+// batch on the parallel runner and returns the results in
+// fleet.PolicyNames order — the "which policy wins" table. Every policy
+// consolidates the identical arrival stream (it is derived from the
+// config seed and the stream parameters only), so rankings reflect
+// placement, not stream luck. Unknown mix names panic immediately.
+func RunFleetComparison(shape exp.FleetShape, cfg ExperimentConfig) []FleetResult {
+	shape.Policy = ""
+	validateFleetShape(shape)
+	names := fleet.PolicyNames()
+	trials := make([]exp.Trial, len(names))
+	for i, name := range names {
+		s := shape
+		s.Policy = name
+		trials[i] = fleetTrial(s, cfg)
+	}
+	all := RunTrials(trials, cfg)
+	out := make([]FleetResult, len(names))
+	for i, reps := range all {
+		out[i] = mergeFleet(reps)
+	}
+	return out
+}
+
+// FleetComparisonTable renders policy-comparison rows: placement and
+// QoS outcomes plus power, one row per policy.
+func FleetComparisonTable(rs []FleetResult) string {
+	t := stats.NewTable("policy", "placed", "rejected", "QoS-viol", "RTT mean", "RTT p99", "fleet W", "W/inst")
+	for _, r := range rs {
+		perInst := 0.0
+		if r.Placed > 0 {
+			perInst = r.TotalPowerWatts / float64(r.Placed)
+		}
+		t.Row(r.Policy,
+			fmt.Sprintf("%d", r.Placed),
+			fmt.Sprintf("%d", r.Rejected),
+			fmt.Sprintf("%d", r.QoSViolations),
+			fmt.Sprintf("%.1f ms", r.RTT.Mean),
+			fmt.Sprintf("%.1f ms", r.RTT.P99),
+			fmt.Sprintf("%.1f", r.TotalPowerWatts),
+			fmt.Sprintf("%.1f", perInst))
+	}
+	return t.String()
+}

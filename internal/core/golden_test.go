@@ -9,15 +9,43 @@ import (
 	"testing"
 
 	"pictor/internal/app"
+	"pictor/internal/exp"
+	"pictor/internal/fleet"
 )
 
-// updateGolden rewrites the pinned determinism fixture. It must only be
+// updateGolden rewrites the pinned determinism fixtures. It must only be
 // used deliberately, when a change is *supposed* to alter simulation
-// results; the whole point of the fixture is that performance work does
-// not get to touch it.
-var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/methodology_golden.txt")
+// results; the whole point of the fixtures is that performance work does
+// not get to touch them.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fixtures")
 
-const goldenPath = "testdata/methodology_golden.txt"
+const (
+	goldenPath      = "testdata/methodology_golden.txt"
+	fleetGoldenPath = "testdata/fleet_golden.txt"
+)
+
+// checkGolden compares got against the pinned fixture at path, or
+// rewrites the fixture under -update-golden.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update-golden to record): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("output diverged from the golden fixture %s:\n--- golden ---\n%s--- got ---\n%s", path, want, got)
+	}
+}
 
 // renderMethodology produces a byte-stable rendering of the Figure-6 /
 // Table-3 rows: %v on float64 prints the shortest representation that
@@ -57,22 +85,57 @@ func TestGoldenMethodologyComparison(t *testing.T) {
 	if seq != par {
 		t.Fatalf("methodology output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
 	}
+	checkGolden(t, goldenPath, seq)
+}
 
-	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
+// renderFleet produces a byte-stable rendering of a policy comparison:
+// every float prints via %v (shortest round-trip representation), so
+// two renderings are equal iff every result is bit-identical.
+func renderFleet(rs []FleetResult) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%s/%s stream=%v placed=%d rejected=%d qos=%d watts=%v rtt=%+v\n",
+			r.Policy, r.Mix, r.Requests, r.Placed, r.Rejected, r.QoSViolations, r.TotalPowerWatts, r.RTT)
+		for _, m := range r.Machines {
+			fmt.Fprintf(&sb, "  m%d demand=%v watts=%v rtt=%+v qos=%d\n",
+				m.Machine, m.PredictedDemand, m.PowerWatts, m.RTT, m.QoSViolations)
+			for _, ir := range m.Results {
+				fmt.Fprintf(&sb, "    %s srv=%v cli=%v rtt=%+v\n", ir.Name, ir.ServerFPS, ir.ClientFPS, ir.RTT)
+			}
 		}
-		if err := os.WriteFile(goldenPath, []byte(seq), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("golden rewritten: %s", goldenPath)
-		return
 	}
-	want, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("missing golden fixture (run with -update-golden to record): %v", err)
+	return sb.String()
+}
+
+// TestGoldenFleetConsolidation pins the fleet experiment the same way
+// the methodology fixture pins the single-server path: a fixed-seed
+// RunFleetComparison — all four placement policies over a randomized
+// arrival mix, with repetitions so derived per-rep and per-machine
+// seeds are exercised — must be byte-identical at -parallel 1 and 8 and
+// must match the recorded fixture. The bin-packing policy pulls in the
+// pair-interference measurement, so its determinism is pinned here too.
+func TestGoldenFleetConsolidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pair-interference measurement and 4 fleet trials")
 	}
-	if string(want) != seq {
-		t.Fatalf("output diverged from the pre-optimization golden:\n--- golden ---\n%s--- got ---\n%s", want, seq)
+	shape := exp.FleetShape{
+		Machines: 3,
+		Mix:      string(fleet.MixShuffled),
+		Requests: 8,
 	}
+	base := QuickExperimentConfig()
+	base.WarmupSeconds, base.Seconds = 1, 5
+	base.Reps = 2
+
+	render := func(parallel int) string {
+		cfg := base
+		cfg.Parallel = parallel
+		return renderFleet(RunFleetComparison(shape, cfg))
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("fleet output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
+	}
+	checkGolden(t, fleetGoldenPath, seq)
 }

@@ -81,12 +81,41 @@ type InstanceSpec struct {
 	Containerized bool
 }
 
+// FleetShape turns a trial into a multi-server consolidation scenario:
+// Requests instance requests drawn from the named arrival Mix are
+// placed across Machines servers by the named placement Policy, and
+// every machine runs as its own cluster inside the one execution unit.
+// Names (not concrete policies) keep the shape pure data, so fleet
+// sweeps run on the same deterministic parallel runner as everything
+// else; internal/fleet owns the vocabulary and internal/core lowers the
+// shape onto real clusters.
+type FleetShape struct {
+	// Machines is the server count (< 1 executes as 1).
+	Machines int
+	// Policy is the placement policy name (see fleet.PolicyNames); ""
+	// means round-robin.
+	Policy string
+	// Mix is the arrival-mix name (see fleet.Mixes); "" means the
+	// suite cycled in paper order.
+	Mix string
+	// Requests is the instance-request stream length (< 1 executes
+	// as 1).
+	Requests int
+	// MachineCores is each server's core count; <= 0 means the paper
+	// testbed's 8.
+	MachineCores int
+}
+
 // Trial is one independent benchmark session: some instances co-located
 // on one simulated server, run for Warmup+Measure seconds.
 type Trial struct {
 	// ID is a human label for reports; Key() identifies the spec.
 	ID        string
 	Instances []InstanceSpec
+	// Fleet, when non-nil, makes this a multi-server trial: Instances
+	// is ignored and the executor expands the shape's request stream
+	// across Machines placed clusters instead.
+	Fleet *FleetShape
 	// Warmup and Measure are simulated seconds (warmup is discarded).
 	Warmup  float64
 	Measure float64
@@ -155,10 +184,21 @@ func CanonicalInterposer(o vgl.Options) vgl.Options {
 // spec and an explicit-default spec share a key.
 func (t Trial) Key() string {
 	key := fmt.Sprintf("w=%g;m=%g;s=%d", t.Warmup, t.Measure, t.Seed)
+	if t.Fleet != nil {
+		f := *t.Fleet
+		return key + fmt.Sprintf("|fleet:n=%d:pol=%s:mix=%s:req=%d:cores=%d",
+			f.Machines, f.Policy, f.Mix, f.Requests, f.MachineCores)
+	}
 	for _, is := range t.Instances {
 		key += fmt.Sprintf("|%s:%s:mode=%d:troff=%t:ip=%+v:ct=%t",
 			is.Profile.Name, is.Driver, int(is.Mode), is.TracingOff,
 			CanonicalInterposer(is.Interposer), is.Containerized)
 	}
 	return key
+}
+
+// FleetTrial is a multi-server trial with the given shape.
+func FleetTrial(shape FleetShape) Trial {
+	s := shape
+	return Trial{Fleet: &s}
 }

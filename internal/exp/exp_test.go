@@ -57,6 +57,101 @@ func TestDeriveSeedCollisionFree(t *testing.T) {
 	}
 }
 
+// fullSuiteGrid assembles a trial set shaped like the complete
+// evaluation: every benchmark × driver × co-location count, the
+// unordered pairs, the container/tracing/interposer variants and the
+// fleet shapes — the key space a real grid exercises.
+func fullSuiteGrid() []Trial {
+	var trials []Trial
+	add := func(t Trial) {
+		t.Warmup, t.Measure = 3, 60
+		trials = append(trials, t)
+	}
+	suite := app.Suite()
+	for _, prof := range suite {
+		for _, d := range []DriverKind{DriverHuman, DriverIC, DriverDeskBench, DriverSlowMotion} {
+			for n := 1; n <= 4; n++ {
+				add(Homogeneous(prof, d, n))
+			}
+		}
+		containerized := Single(prof, DriverHuman)
+		containerized.Instances[0].Containerized = true
+		add(containerized)
+		tracingOff := Single(prof, DriverHuman)
+		tracingOff.Instances[0].TracingOff = true
+		add(tracingOff)
+		optimized := Single(prof, DriverHuman)
+		optimized.Instances[0].Interposer = vgl.Optimized()
+		add(optimized)
+	}
+	for i := 0; i < len(suite); i++ {
+		for j := i + 1; j < len(suite); j++ {
+			add(Pair(suite[i], suite[j]))
+		}
+	}
+	for _, pol := range []string{"roundrobin", "leastcount", "leastdemand", "binpack"} {
+		add(FleetTrial(FleetShape{Machines: 4, Policy: pol, Mix: "shuffled", Requests: 12}))
+	}
+	return trials
+}
+
+// TestSeedDerivationPropertyFullGrid is the property test for the
+// runner's seed derivation: over the full suite grid × 32 repetitions,
+// (1) distinct (trial key, rep) pairs never derive colliding seeds, and
+// (2) a trial's per-rep seeds are a function of its key alone —
+// permuting the grid order leaves every trial's seeds unchanged.
+func TestSeedDerivationPropertyFullGrid(t *testing.T) {
+	const reps = 32
+	trials := fullSuiteGrid()
+
+	keys := map[string]bool{}
+	for _, tr := range trials {
+		keys[tr.Key()] = true
+	}
+	if len(keys) != len(trials) {
+		t.Fatalf("grid keys collide: %d trials, %d distinct keys", len(trials), len(keys))
+	}
+
+	seen := map[int64]string{}
+	seedsOf := func(tr Trial) [reps]int64 {
+		var out [reps]int64
+		for r := 0; r < reps; r++ {
+			out[r] = UnitSeed(tr, r, 1)
+		}
+		return out
+	}
+	forward := map[string][reps]int64{}
+	for _, tr := range trials {
+		ss := seedsOf(tr)
+		forward[tr.Key()] = ss
+		for r, s := range ss {
+			id := fmt.Sprintf("%s rep=%d", tr.Key(), r)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision over %d units:\n  %s\n  %s\nboth derive %d",
+					len(trials)*reps, prev, id, s)
+			}
+			seen[s] = id
+		}
+	}
+
+	// Reverse the grid and re-derive through the runner itself: every
+	// trial must get exactly the seeds it got in forward order.
+	reversed := make([]Trial, len(trials))
+	for i, tr := range trials {
+		reversed[len(trials)-1-i] = tr
+	}
+	out := Run(reversed, func(tr Trial, u Unit) int64 { return u.Seed }, RunOptions{Parallel: 4, Reps: reps, BaseSeed: 1})
+	for i, tr := range reversed {
+		want := forward[tr.Key()]
+		for r := 0; r < reps; r++ {
+			if out[i][r] != want[r] {
+				t.Fatalf("trial %q rep %d: seed %d after permutation, %d before",
+					tr.ID, r, out[i][r], want[r])
+			}
+		}
+	}
+}
+
 func TestUnitSeedPinsFirstRep(t *testing.T) {
 	tr := Single(app.STK(), DriverHuman)
 	tr.Seed = 42

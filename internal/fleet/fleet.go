@@ -1,0 +1,217 @@
+// Package fleet models a multi-server consolidation scenario: N
+// independent server machines, a stream of instance requests, and a
+// placement policy that decides which machine each request lands on.
+//
+// The paper characterizes consolidation on one server (§5.2: how many
+// instances a machine sustains before interactive RTT degrades); this
+// package asks the next question — *where* to place workloads across a
+// fleet for maximum performance. Like internal/exp, it is deliberately
+// a leaf: it knows demand prediction, interference scoring and
+// placement, but not how to build or run a simulated server. The
+// assembly layer (internal/core.RunFleetConsolidation) lowers each
+// machine's placed requests onto a core.Cluster and executes them, so
+// fleet trials run on the same deterministic parallel runner as every
+// other experiment.
+package fleet
+
+import (
+	"fmt"
+
+	"pictor/internal/app"
+	"pictor/internal/sim"
+)
+
+// DefaultMachineCores matches the paper's testbed server (8-core
+// i7-7820X); a fleet is N such machines unless the shape overrides it.
+const DefaultMachineCores = 8
+
+// DefaultOvercommit is the admission-control cap: a machine accepts
+// requests until its predicted CPU demand exceeds Overcommit × cores.
+// Cores timeshare, so moderate overcommit trades RTT for density —
+// exactly the degradation the consolidation experiments measure. 1.5
+// admits roughly the instance counts where §5.2 shows QoS starts to
+// slip, so fleets exercise the interesting operating region.
+const DefaultOvercommit = 1.5
+
+// QoSMinFPS is the interactivity floor used for violation counts: the
+// paper's co-location analysis (Figure 18) treats a benchmark below 25
+// client FPS as no longer playable.
+const QoSMinFPS = 25.0
+
+// Machine is the placement-time view of one server: bookkeeping the
+// policies read (what is placed, predicted demand), not the simulated
+// hardware itself. The assembly layer pairs each Machine with a
+// core.Cluster when the fleet is executed.
+type Machine struct {
+	// Index is the machine's position in the fleet (stable identity;
+	// ties between equally-good machines break toward lower index).
+	Index int
+	// Cores is the machine's CPU capacity.
+	Cores float64
+	// Placed holds the profiles placed on this machine, in admission
+	// order.
+	Placed []app.Profile
+	// Demand is the summed predicted CPU demand of the placed profiles.
+	Demand float64
+}
+
+// Fits reports whether adding demand d keeps the machine within its
+// overcommitted capacity.
+func (m *Machine) Fits(d, overcommit float64) bool {
+	return m.Demand+d <= m.Cores*overcommit
+}
+
+// place records a request on the machine.
+func (m *Machine) place(p app.Profile) {
+	m.Placed = append(m.Placed, p)
+	m.Demand += PredictedCPUDemand(p)
+}
+
+// Fleet is a set of machines plus the admission-control knobs.
+type Fleet struct {
+	Machines []*Machine
+	// Overcommit caps each machine's predicted demand at Overcommit ×
+	// cores; requests that fit nowhere are rejected.
+	Overcommit float64
+	// Rejected holds the request indices admission turned away.
+	Rejected []int
+}
+
+// New builds a fleet of n identical machines with the given core count
+// (<= 0 selects DefaultMachineCores).
+func New(n int, cores float64) *Fleet {
+	if n < 1 {
+		n = 1
+	}
+	if cores <= 0 {
+		cores = DefaultMachineCores
+	}
+	f := &Fleet{Machines: make([]*Machine, n), Overcommit: DefaultOvercommit}
+	for i := range f.Machines {
+		f.Machines[i] = &Machine{Index: i, Cores: cores}
+	}
+	return f
+}
+
+// Admit runs the admission loop: each request in turn is offered to the
+// policy, restricted to machines with remaining overcommitted capacity.
+// Requests no machine can hold are recorded in f.Rejected. The loop is
+// fully deterministic: same fleet, stream and policy always produce the
+// same placement.
+func (f *Fleet) Admit(reqs []app.Profile, p Placement) {
+	for i, req := range reqs {
+		d := PredictedCPUDemand(req)
+		feasible := f.feasible(d)
+		if len(feasible) == 0 {
+			f.Rejected = append(f.Rejected, i)
+			continue
+		}
+		pick := p.Pick(feasible, req)
+		if pick < 0 || pick >= len(feasible) {
+			f.Rejected = append(f.Rejected, i)
+			continue
+		}
+		feasible[pick].place(req)
+	}
+}
+
+// feasible lists the machines that can hold one more request of demand
+// d, in index order.
+func (f *Fleet) feasible(d float64) []*Machine {
+	var out []*Machine
+	for _, m := range f.Machines {
+		if m.Fits(d, f.Overcommit) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Placements returns each machine's placed profiles (index-aligned with
+// Machines).
+func (f *Fleet) Placements() [][]app.Profile {
+	out := make([][]app.Profile, len(f.Machines))
+	for i, m := range f.Machines {
+		out[i] = m.Placed
+	}
+	return out
+}
+
+// PredictedCPUDemand estimates the cores one instance of a profile will
+// demand: the steady background threads of the engine and its VNC proxy
+// plus the per-frame logic, IPC and encode work at the pipeline's
+// nominal 60 FPS target. It is a placement heuristic — the simulation
+// measures the truth — but it orders the suite correctly (D2's worker
+// threads and STK's encode volume are the heavyweights, RE is the
+// lightest), which is all a least-loaded or bin-packing policy needs.
+func PredictedCPUDemand(p app.Profile) float64 {
+	const targetFPS = 60
+	frameMB := float64(p.Width*p.Height) * 4 / 1e6 // raw RGBA readback
+	perFrameMs := p.ALBaseMs + p.ASBaseMs + p.ASPerMBMs*frameMB + p.Codec.MsPerMB*frameMB
+	return p.AppBackgroundCores + p.VNCBackgroundCores + targetFPS*perFrameMs/1000
+}
+
+// ---------------------------------------------------------------------------
+// Request streams (arrival mixes)
+
+// Mix names a deterministic arrival-stream generator.
+type Mix string
+
+const (
+	// MixSuite cycles the Table-2 suite in paper order (seed-independent).
+	MixSuite Mix = "suite"
+	// MixShuffled draws uniformly from the suite with a seeded RNG.
+	MixShuffled Mix = "shuffled"
+	// MixHeavy draws from the suite weighted toward the heavy profiles
+	// (Dota2's worker threads, SuperTuxKart's encode volume, InMind's
+	// footprint), modelling a fleet dominated by demanding tenants.
+	MixHeavy Mix = "heavy"
+)
+
+// Mixes lists the supported arrival mixes.
+func Mixes() []Mix { return []Mix{MixSuite, MixShuffled, MixHeavy} }
+
+// heavyWeights weight the suite for MixHeavy, in Suite() order
+// (STK, 0AD, RE, D2, IM, ITP).
+var heavyWeights = []int{3, 1, 1, 3, 2, 1}
+
+// RequestStream generates n instance requests for the named mix. The
+// stream is a pure function of (mix, n, seed), so fleet trials stay
+// deterministic on the parallel runner.
+func RequestStream(mix Mix, n int, seed int64) ([]app.Profile, error) {
+	if n < 1 {
+		n = 1
+	}
+	suite := app.Suite()
+	out := make([]app.Profile, n)
+	switch mix {
+	case MixSuite, "":
+		for i := range out {
+			out[i] = suite[i%len(suite)]
+		}
+	case MixShuffled:
+		rng := sim.NewRNG(seed).Fork("fleet/mix/shuffled")
+		for i := range out {
+			out[i] = suite[rng.Intn(len(suite))]
+		}
+	case MixHeavy:
+		total := 0
+		for _, w := range heavyWeights {
+			total += w
+		}
+		rng := sim.NewRNG(seed).Fork("fleet/mix/heavy")
+		for i := range out {
+			r := rng.Intn(total)
+			for j, w := range heavyWeights {
+				if r < w {
+					out[i] = suite[j]
+					break
+				}
+				r -= w
+			}
+		}
+	default:
+		return nil, fmt.Errorf("fleet: unknown mix %q (have %v)", mix, Mixes())
+	}
+	return out, nil
+}

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"pictor/internal/app"
+)
+
+func names(ps []app.Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+func TestPredictedCPUDemandOrdersSuite(t *testing.T) {
+	d := map[string]float64{}
+	for _, p := range app.Suite() {
+		d[p.Name] = PredictedCPUDemand(p)
+		if d[p.Name] <= 0 {
+			t.Fatalf("%s: demand must be positive, got %g", p.Name, d[p.Name])
+		}
+	}
+	// The known heavyweight (Dota2's worker threads) must outrank the
+	// known lightweight (Red Eclipse's thin engine); the ordering is
+	// what placement policies rely on.
+	if d["D2"] <= d["RE"] {
+		t.Fatalf("demand heuristic misorders the suite: D2=%g RE=%g", d["D2"], d["RE"])
+	}
+}
+
+func TestRequestStreamDeterministicAndSized(t *testing.T) {
+	for _, mix := range Mixes() {
+		a, err := RequestStream(mix, 24, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		b, _ := RequestStream(mix, 24, 7)
+		if !reflect.DeepEqual(names(a), names(b)) {
+			t.Fatalf("%s: stream not deterministic", mix)
+		}
+		if len(a) != 24 {
+			t.Fatalf("%s: got %d requests, want 24", mix, len(a))
+		}
+	}
+	if _, err := RequestStream("nope", 4, 1); err == nil {
+		t.Fatal("unknown mix must error")
+	}
+}
+
+func TestRequestStreamSuiteCycles(t *testing.T) {
+	reqs, err := RequestStream(MixSuite, 13, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := app.Suite()
+	for i, r := range reqs {
+		if r.Name != suite[i%len(suite)].Name {
+			t.Fatalf("request %d = %s, want %s", i, r.Name, suite[i%len(suite)].Name)
+		}
+	}
+}
+
+func TestRequestStreamHeavyIsHeavy(t *testing.T) {
+	reqs, err := RequestStream(MixHeavy, 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, r := range reqs {
+		count[r.Name]++
+	}
+	if count["D2"] <= count["RE"] {
+		t.Fatalf("heavy mix must favor D2 over RE: D2=%d RE=%d", count["D2"], count["RE"])
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	f := New(3, 8)
+	reqs, _ := RequestStream(MixSuite, 6, 1)
+	f.Admit(reqs, &RoundRobin{})
+	for i, m := range f.Machines {
+		if len(m.Placed) != 2 {
+			t.Fatalf("machine %d got %d instances, want 2", i, len(m.Placed))
+		}
+	}
+	if len(f.Rejected) != 0 {
+		t.Fatalf("nothing should be rejected, got %v", f.Rejected)
+	}
+}
+
+func TestLeastLoadedCountBalances(t *testing.T) {
+	f := New(4, 8)
+	reqs, _ := RequestStream(MixShuffled, 8, 5)
+	f.Admit(reqs, LeastLoadedCount{})
+	for i, m := range f.Machines {
+		if len(m.Placed) != 2 {
+			t.Fatalf("machine %d got %d instances, want 2", i, len(m.Placed))
+		}
+	}
+}
+
+func TestLeastLoadedDemandPicksLightestMachine(t *testing.T) {
+	f := New(2, 8)
+	d2, _ := app.ByName("D2")
+	re, _ := app.ByName("RE")
+	// D2 on machine 0, then two REs: the first RE goes to the empty
+	// machine 1, the second must also go to 1 (D2 outweighs one RE).
+	f.Admit([]app.Profile{d2, re, re}, LeastLoadedDemand{})
+	if got := len(f.Machines[1].Placed); got != 2 {
+		t.Fatalf("machine 1 got %d instances, want 2 (demand-aware spread)", got)
+	}
+}
+
+func TestAdmissionRejectsWhenFull(t *testing.T) {
+	f := New(1, 1) // one tiny machine
+	f.Overcommit = 1
+	reqs, _ := RequestStream(MixSuite, 5, 1)
+	f.Admit(reqs, LeastLoadedCount{})
+	placed := len(f.Machines[0].Placed)
+	if placed+len(f.Rejected) != 5 {
+		t.Fatalf("placed %d + rejected %d must account for all 5 requests", placed, len(f.Rejected))
+	}
+	if len(f.Rejected) == 0 {
+		t.Fatal("a 1-core machine cannot hold the whole stream")
+	}
+}
+
+func TestBinPackSeparatesHostileProfiles(t *testing.T) {
+	stk, _ := app.ByName("STK")
+	re, _ := app.ByName("RE")
+	it := NewInterference()
+	it.Set("STK", "STK", 0.5) // STK is hostile to itself
+	it.Set("STK", "RE", 0.0)  // but compatible with RE
+
+	f := New(2, 8)
+	pol := &BinPack{Interference: it}
+	f.Admit([]app.Profile{stk, stk, re, re}, pol)
+	stks := make([]int, len(f.Machines))
+	for i, m := range f.Machines {
+		for _, p := range m.Placed {
+			if p.Name == "STK" {
+				stks[i]++
+			}
+		}
+	}
+	// The self-hostile STKs must land on different machines; the
+	// compatible REs then pack wherever is fullest.
+	if stks[0] != 1 || stks[1] != 1 {
+		t.Fatalf("STK spread = %v; binpack must split the hostile pair across machines", stks)
+	}
+}
+
+func TestBinPackPacksCompatibleProfilesTightly(t *testing.T) {
+	re, _ := app.ByName("RE")
+	f := New(3, 8)
+	// No interference data: everything is compatible, so binpack must
+	// fill machine 0 before touching the others (keeping machines free).
+	f.Admit([]app.Profile{re, re, re}, &BinPack{})
+	if got := len(f.Machines[0].Placed); got != 3 {
+		t.Fatalf("machine 0 got %d of 3 compatible instances; binpack must pack, not spread", got)
+	}
+}
+
+func TestRoundRobinSkipsFullMachines(t *testing.T) {
+	f := New(2, 8)
+	f.Overcommit = 1
+	d2, _ := app.ByName("D2")
+	// More D2s than two 8-core machines can hold at overcommit 1: the
+	// cursor must keep cycling over whatever still fits, and the excess
+	// is rejected — never misplaced.
+	reqs := []app.Profile{d2, d2, d2, d2, d2, d2}
+	f.Admit(reqs, &RoundRobin{})
+	total := len(f.Machines[0].Placed) + len(f.Machines[1].Placed)
+	if total+len(f.Rejected) != len(reqs) {
+		t.Fatalf("accounting broken: %d placed + %d rejected != %d", total, len(f.Rejected), len(reqs))
+	}
+	if diff := len(f.Machines[0].Placed) - len(f.Machines[1].Placed); diff < -1 || diff > 1 {
+		t.Fatalf("round-robin must keep counts within 1: %d vs %d",
+			len(f.Machines[0].Placed), len(f.Machines[1].Placed))
+	}
+}
+
+func TestInterferenceSymmetricAndNilSafe(t *testing.T) {
+	it := NewInterference()
+	it.Set("A", "B", 0.3)
+	if it.Score("B", "A") != 0.3 {
+		t.Fatal("interference must be symmetric")
+	}
+	if it.Score("A", "C") != 0 {
+		t.Fatal("unknown pairs must score 0")
+	}
+	var nilTable *Interference
+	if nilTable.Score("A", "B") != 0 || nilTable.Len() != 0 {
+		t.Fatal("nil table must be usable and score 0")
+	}
+	if it.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", it.Len())
+	}
+}
+
+func TestNewPolicyRegistry(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if p, err := NewPolicy("", nil); err != nil || p.Name() != PolicyRoundRobin {
+		t.Fatal("empty name must default to round-robin")
+	}
+	if _, err := NewPolicy("bogus", nil); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}
+
+func TestAdmitDeterministic(t *testing.T) {
+	run := func() [][]string {
+		f := New(4, 8)
+		reqs, _ := RequestStream(MixHeavy, 20, 11)
+		pol, _ := NewPolicy(PolicyBinPack, nil)
+		f.Admit(reqs, pol)
+		out := make([][]string, len(f.Machines))
+		for i, ps := range f.Placements() {
+			out[i] = names(ps)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("admission must be deterministic")
+	}
+}

@@ -1,0 +1,48 @@
+package fleet
+
+// Interference is a symmetric pair-compatibility table: Score(a, b) is
+// the predicted performance penalty of co-locating benchmarks a and b,
+// as a fraction (0 = fully compatible, 0.3 = ~30% FPS loss each). The
+// co-location experiment (§5.3, Figure 18/19) produces exactly this
+// data — core.PairInterference measures it once per process from solo
+// vs paired runs — but any source works; the type is plain data so the
+// leaf stays free of the assembly layer.
+type Interference struct {
+	scores map[[2]string]float64
+}
+
+// NewInterference returns an empty table (every pair scores 0).
+func NewInterference() *Interference {
+	return &Interference{scores: make(map[[2]string]float64)}
+}
+
+// pairKey canonicalizes the unordered pair.
+func pairKey(a, b string) [2]string {
+	if b < a {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Set records the penalty for co-locating a with b (symmetric; a == b
+// records the homogeneous-pair penalty).
+func (it *Interference) Set(a, b string, score float64) {
+	it.scores[pairKey(a, b)] = score
+}
+
+// Score reports the penalty for co-locating a with b; unknown pairs
+// (and a nil table) score 0.
+func (it *Interference) Score(a, b string) float64 {
+	if it == nil {
+		return 0
+	}
+	return it.scores[pairKey(a, b)]
+}
+
+// Len reports how many pairs have recorded scores.
+func (it *Interference) Len() int {
+	if it == nil {
+		return 0
+	}
+	return len(it.scores)
+}

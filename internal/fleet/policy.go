@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"fmt"
+
+	"pictor/internal/app"
+)
+
+// Placement decides where an admitted request lands. Pick receives the
+// feasible machines (those with remaining overcommitted capacity, in
+// index order, never empty) and returns the index *into that slice* of
+// the chosen machine, or -1 to reject the request anyway. Policies must
+// be deterministic: placement feeds the deterministic experiment
+// runner, so equal inputs must always produce equal choices.
+type Placement interface {
+	Name() string
+	Pick(feasible []*Machine, req app.Profile) int
+}
+
+// Policy names, as accepted by NewPolicy and the CLI's -policy flag.
+const (
+	PolicyRoundRobin  = "roundrobin"
+	PolicyLeastCount  = "leastcount"
+	PolicyLeastDemand = "leastdemand"
+	PolicyBinPack     = "binpack"
+)
+
+// PolicyNames lists every placement policy in comparison order.
+func PolicyNames() []string {
+	return []string{PolicyRoundRobin, PolicyLeastCount, PolicyLeastDemand, PolicyBinPack}
+}
+
+// NewPolicy builds a policy by name. The bin-packing policy needs the
+// pair-interference table the co-location experiment produces; the
+// other policies ignore it (nil is fine for them).
+func NewPolicy(name string, it *Interference) (Placement, error) {
+	switch name {
+	case PolicyRoundRobin, "":
+		return &RoundRobin{}, nil
+	case PolicyLeastCount:
+		return LeastLoadedCount{}, nil
+	case PolicyLeastDemand:
+		return LeastLoadedDemand{}, nil
+	case PolicyBinPack:
+		return &BinPack{Interference: it}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown policy %q (have %v)", name, PolicyNames())
+}
+
+// RoundRobin cycles machines in index order, skipping full ones (the
+// feasibility filter already removed those). It balances instance
+// counts without looking at the workload at all — the baseline every
+// load balancer starts from.
+type RoundRobin struct {
+	next int
+}
+
+func (*RoundRobin) Name() string { return PolicyRoundRobin }
+
+func (p *RoundRobin) Pick(feasible []*Machine, _ app.Profile) int {
+	// The cursor advances over machine indices, not the feasible slice,
+	// so a temporarily-full machine does not shift everyone else's turn.
+	best, bestKey := 0, -1
+	for i, m := range feasible {
+		// Key orders machines by distance from the cursor, wrapping.
+		key := m.Index - p.next
+		if key < 0 {
+			key += 1 << 30
+		}
+		if bestKey == -1 || key < bestKey {
+			best, bestKey = i, key
+		}
+	}
+	p.next = feasible[best].Index + 1
+	return best
+}
+
+// LeastLoadedCount places on the feasible machine hosting the fewest
+// instances (ties break toward the lower index). Blind to what those
+// instances are — the classic "least connections" balancer.
+type LeastLoadedCount struct{}
+
+func (LeastLoadedCount) Name() string { return PolicyLeastCount }
+
+func (LeastLoadedCount) Pick(feasible []*Machine, _ app.Profile) int {
+	best := 0
+	for i, m := range feasible {
+		if len(m.Placed) < len(feasible[best].Placed) {
+			best = i
+		}
+	}
+	return best
+}
+
+// LeastLoadedDemand places on the feasible machine with the lowest
+// predicted CPU demand (PredictedCPUDemand over its placed profiles,
+// ties toward the lower index). Unlike LeastLoadedCount it knows a
+// Dota2 costs more than a Red Eclipse, so heterogeneous mixes spread by
+// weight rather than by headcount.
+type LeastLoadedDemand struct{}
+
+func (LeastLoadedDemand) Name() string { return PolicyLeastDemand }
+
+func (LeastLoadedDemand) Pick(feasible []*Machine, _ app.Profile) int {
+	best := 0
+	for i, m := range feasible {
+		if m.Demand < feasible[best].Demand {
+			best = i
+		}
+	}
+	return best
+}
+
+// BinPack is profile-affinity bin-packing: among the machines where the
+// request causes the least predicted interference with what is already
+// placed (scored by the pair-interference table the co-location
+// experiment produces), it prefers the fullest — packing compatible
+// workloads tightly so the fleet keeps whole machines free (and near
+// idle power) for as long as possible.
+type BinPack struct {
+	// Interference scores co-location penalties; nil falls back to pure
+	// demand-based packing (every pair scores zero).
+	Interference *Interference
+}
+
+func (*BinPack) Name() string { return PolicyBinPack }
+
+func (p *BinPack) Pick(feasible []*Machine, req app.Profile) int {
+	best, bestCost, bestDemand := 0, -1.0, -1.0
+	for i, m := range feasible {
+		cost := 0.0
+		for _, placed := range m.Placed {
+			cost += p.Interference.Score(req.Name, placed.Name)
+		}
+		// Minimal interference first; among equals, pack the fullest
+		// machine; then the lower index.
+		if bestCost < 0 || cost < bestCost || (cost == bestCost && m.Demand > bestDemand) {
+			best, bestCost, bestDemand = i, cost, m.Demand
+		}
+	}
+	return best
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -225,5 +226,105 @@ func TestTQuantile95(t *testing.T) {
 	}
 	if got := TQuantile95(0); got != 0 {
 		t.Fatalf("t(0) = %v, want 0", got)
+	}
+}
+
+// TestSampleEdgeCases sweeps the degenerate inputs — empty, single
+// observation, all-equal observations, and tiny-n confidence intervals
+// — through every summary query, requiring finite (never NaN/Inf)
+// results and no panics. These are exactly the samples a short or idle
+// measurement window produces.
+func TestSampleEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		mean float64 // expected mean
+		pAll float64 // expected value of every percentile
+	}{
+		{name: "empty", xs: nil, mean: 0, pAll: 0},
+		{name: "single", xs: []float64{4.2}, mean: 4.2, pAll: 4.2},
+		{name: "all-equal", xs: []float64{7, 7, 7, 7}, mean: 7, pAll: 7},
+		{name: "all-zero", xs: []float64{0, 0, 0}, mean: 0, pAll: 0},
+		{name: "two", xs: []float64{1, 3}, mean: 2, pAll: math.NaN()}, // pAll unchecked
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			s.AddAll(tc.xs)
+			if got := s.Mean(); got != tc.mean {
+				t.Fatalf("Mean = %v, want %v", got, tc.mean)
+			}
+			for _, p := range []float64{-5, 0, 1, 25, 50, 75, 99, 100, 150} {
+				q := s.Percentile(p)
+				if math.IsNaN(q) || math.IsInf(q, 0) {
+					t.Fatalf("Percentile(%v) = %v (not finite)", p, q)
+				}
+				if !math.IsNaN(tc.pAll) && q != tc.pAll {
+					t.Fatalf("Percentile(%v) = %v, want %v", p, q, tc.pAll)
+				}
+			}
+			sum := s.Summarize()
+			for name, v := range map[string]float64{
+				"Mean": sum.Mean, "P1": sum.P1, "P25": sum.P25, "P75": sum.P75, "P99": sum.P99,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("Summarize().%s = %v (not finite)", name, v)
+				}
+			}
+			if sum.N != len(tc.xs) {
+				t.Fatalf("Summarize().N = %d, want %d", sum.N, len(tc.xs))
+			}
+			mean, half := s.MeanCI95()
+			if math.IsNaN(mean) || math.IsNaN(half) || math.IsInf(half, 0) {
+				t.Fatalf("MeanCI95 = (%v, %v) (not finite)", mean, half)
+			}
+			if len(tc.xs) < 2 && half != 0 {
+				t.Fatalf("n=%d must report a zero CI half-width, got %v", len(tc.xs), half)
+			}
+			if sd := s.StdDev(); math.IsNaN(sd) || sd < 0 {
+				t.Fatalf("StdDev = %v", sd)
+			}
+			if mn, mx := s.Min(), s.Max(); mn > mx {
+				t.Fatalf("Min %v > Max %v", mn, mx)
+			}
+		})
+	}
+}
+
+// TestCI95AllEqual: zero spread must yield a zero interval, not NaN
+// from catastrophic cancellation in the variance.
+func TestCI95AllEqual(t *testing.T) {
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(1e9 + 0.25) // large offset stresses the sum-of-squares path
+	}
+	mean, half := s.MeanCI95()
+	if math.IsNaN(mean) || math.IsNaN(half) {
+		t.Fatalf("MeanCI95 = (%v, %v)", mean, half)
+	}
+	if half != 0 {
+		t.Fatalf("all-equal sample must have a zero CI, got %v", half)
+	}
+}
+
+func TestTableRendersAligned(t *testing.T) {
+	tab := NewTable("policy", "fps")
+	tab.Row("roundrobin", "31.5")
+	tab.Rowf("binpack", "%.1f", 29.25)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "29.2") {
+		t.Fatalf("Rowf formatting lost: %q", lines[2])
+	}
+	// Short rows leave trailing columns empty; long rows truncate.
+	uneven := NewTable("a", "b").Row("x").Row("y", "z", "extra")
+	if s := uneven.String(); !strings.Contains(s, "x") || strings.Contains(s, "extra") {
+		t.Fatalf("uneven rows mishandled:\n%s", s)
 	}
 }

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table builds aligned text tables — experiment reports are column
+// comparisons (methodology errors per driver, FPS per policy), and
+// every layer was growing its own ad-hoc alignment code. Rows are
+// plain strings; callers format their own numbers.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends one row. Rows longer than the header are truncated at
+// render time; shorter rows leave trailing columns empty.
+func (t *Table) Row(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// Rowf appends one row where every cell is a fmt.Sprintf(format, arg)
+// rendering of the corresponding argument — the common all-numeric row.
+func (t *Table) Rowf(label string, format string, args ...float64) *Table {
+	cells := make([]string, 0, len(args)+1)
+	cells = append(cells, label)
+	for _, a := range args {
+		cells = append(cells, fmt.Sprintf(format, a))
+	}
+	return t.Row(cells...)
+}
+
+// String renders the table with every column padded to its widest cell.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s  ", width[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.header)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

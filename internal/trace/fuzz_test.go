@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"pictor/internal/sim"
+)
+
+// FuzzEmbedTagsRoundTrip drives the hook6→hook8 pixel-embedding channel
+// with arbitrary tag sets and frame sizes: whenever EmbedTags commits a
+// payload, ExtractTagsAppend must read back exactly the embedded tags
+// and RestorePixels must return the frame to its original bytes — for
+// any tag values (all 64 bits), any frame size (including too-small
+// frames, which must leave pixels untouched), and recycled buffers.
+func FuzzEmbedTagsRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(32))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0, 0}, uint16(200))
+	f.Add(bytes.Repeat([]byte{0xAB}, 8*20), uint16(4)) // more tags than fit
+	f.Add(bytes.Repeat([]byte{7}, 8*(MaxEmbeddedTags+3)), uint16(1024))
+
+	f.Fuzz(func(t *testing.T, raw []byte, pixCount uint16) {
+		var tags []uint64
+		for i := 0; i+8 <= len(raw); i += 8 {
+			tags = append(tags, binary.LittleEndian.Uint64(raw[i:i+8]))
+		}
+		pixels := make([]float64, pixCount)
+		for i := range pixels {
+			// Arbitrary but exactly-representable original values; the
+			// restore check is bit-exact.
+			pixels[i] = float64(i%257) / 256
+		}
+		original := append([]float64(nil), pixels...)
+
+		reuse := make([]float64, 0, 8)
+		saved := EmbedTags(pixels, tags, reuse)
+
+		want := tags
+		if len(want) > MaxEmbeddedTags {
+			want = want[:MaxEmbeddedTags]
+		}
+		embedded := len(tags) > 0 && len(pixels) >= 1+8*len(want)
+
+		if !embedded {
+			// Declined embeds must leave the frame untouched and return
+			// the reuse buffer unmodified.
+			if len(saved) != 0 {
+				t.Fatalf("no payload committed but %d pixels saved", len(saved))
+			}
+			for i := range pixels {
+				if pixels[i] != original[i] {
+					t.Fatalf("pixel %d mutated by a declined embed", i)
+				}
+			}
+			return
+		}
+
+		got := ExtractTagsAppend(pixels, make([]uint64, 0, len(want)))
+		if len(got) != len(want) {
+			t.Fatalf("embedded %d tags, extracted %d", len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tag %d: embedded %#x, extracted %#x", i, want[i], got[i])
+			}
+		}
+
+		RestorePixels(pixels, saved)
+		for i := range pixels {
+			if pixels[i] != original[i] {
+				t.Fatalf("pixel %d not restored: %v != %v", i, pixels[i], original[i])
+			}
+		}
+	})
+}
+
+// TestResetClearsTagRecordState is the regression test for the
+// fixed-array TagRecord storage: after Reset, a re-observed tag id must
+// start from a blank record — no hook timestamps, no stage latencies,
+// no completed-RTT carryover from before the reset. (A leaked hookSet
+// or stageSet bit would let a warmup observation complete a
+// measurement-window RTT.)
+func TestResetClearsTagRecordState(t *testing.T) {
+	k := sim.NewKernel()
+	tr := New(k)
+
+	tag := tr.NextTag()
+	tr.RecordHook(Hook1, tag)
+	tr.AddStage(StageAL, 3*sim.Millisecond, tag)
+	tr.AddStage(StageRD, 2*sim.Millisecond, tag)
+	tr.RecordHook(Hook10, tag)
+	tr.ServerFrameTick()
+	tr.ClientFrameTick()
+	tr.FrameDropped()
+	if tr.CompletedRTTCount() != 1 {
+		t.Fatalf("precondition: RTT should have completed, n=%d", tr.CompletedRTTCount())
+	}
+
+	tr.Reset()
+
+	if n := len(tr.Records()); n != 0 {
+		t.Fatalf("%d records survive Reset", n)
+	}
+	if tr.CompletedRTTCount() != 0 || tr.RTTs().N() != 0 {
+		t.Fatal("RTT sample survives Reset")
+	}
+	for _, s := range Stages {
+		if n := tr.StageSample(s).N(); n != 0 {
+			t.Fatalf("stage %s keeps %d observations after Reset", s, n)
+		}
+	}
+	if tr.ServerFrameCount() != 0 || tr.ClientFrameCount() != 0 || tr.DroppedFrames() != 0 {
+		t.Fatal("frame counters survive Reset")
+	}
+
+	// Re-observe the same tag id: its record must be blank, so a lone
+	// Hook10 must not complete an RTT against the pre-reset Hook1.
+	tr.RecordHook(Hook10, tag)
+	if tr.CompletedRTTCount() != 0 {
+		t.Fatal("pre-reset Hook1 leaked into a post-reset round trip")
+	}
+	rec := tr.Records()[0]
+	if _, ok := rec.Hook(Hook1); ok {
+		t.Fatal("pre-reset hook timestamp visible after Reset")
+	}
+	for _, s := range Stages {
+		if _, ok := rec.Stage(s); ok {
+			t.Fatalf("pre-reset stage %s latency visible after Reset", s)
+		}
+	}
+
+	// And a full round trip after Reset works from scratch.
+	tag2 := tr.NextTag()
+	if tag2 == tag {
+		t.Fatal("tag allocation must not restart after Reset (tags must stay unique)")
+	}
+	tr.RecordHook(Hook1, tag2)
+	tr.RecordHook(Hook10, tag2)
+	if tr.CompletedRTTCount() != 1 {
+		t.Fatal("post-reset round trip failed to record")
+	}
+}

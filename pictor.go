@@ -40,6 +40,7 @@ import (
 	"pictor/internal/container"
 	"pictor/internal/core"
 	"pictor/internal/exp"
+	"pictor/internal/fleet"
 	"pictor/internal/sim"
 	"pictor/internal/vgl"
 )
@@ -79,7 +80,32 @@ type (
 	TrialResult = core.TrialResult
 	// SuiteGridResult is the full paper evaluation in one value.
 	SuiteGridResult = core.SuiteGridResult
+	// FleetShape turns a trial into a multi-server consolidation
+	// scenario (machines × placement policy × arrival mix).
+	FleetShape = exp.FleetShape
+	// FleetResult is one multi-server consolidation outcome.
+	FleetResult = core.FleetResult
+	// MachineResult is one fleet machine's outcome.
+	MachineResult = core.MachineResult
 )
+
+// Placement-policy names for FleetShape.Policy.
+const (
+	PolicyRoundRobin  = fleet.PolicyRoundRobin
+	PolicyLeastCount  = fleet.PolicyLeastCount
+	PolicyLeastDemand = fleet.PolicyLeastDemand
+	PolicyBinPack     = fleet.PolicyBinPack
+)
+
+// Arrival-mix names for FleetShape.Mix.
+const (
+	MixSuite    = string(fleet.MixSuite)
+	MixShuffled = string(fleet.MixShuffled)
+	MixHeavy    = string(fleet.MixHeavy)
+)
+
+// FleetPolicyNames lists every placement policy in comparison order.
+func FleetPolicyNames() []string { return fleet.PolicyNames() }
 
 // Declarative driver kinds for the experiment entry points.
 const (
@@ -237,6 +263,30 @@ func HomogeneousTrial(prof Profile, d DriverKind, n int) Trial {
 
 // PairTrial co-locates two human-driven benchmarks.
 func PairTrial(a, b Profile) Trial { return exp.Pair(a, b) }
+
+// RunFleetConsolidation places a stream of instance requests across a
+// multi-machine fleet with the shape's placement policy and runs every
+// machine as its own simulated server, reporting per-machine RTT
+// distributions, QoS-violation counts and fleet-wide power.
+func RunFleetConsolidation(shape FleetShape, cfg ExperimentConfig) FleetResult {
+	return core.RunFleetConsolidation(shape, cfg)
+}
+
+// RunFleetComparison runs the shape under every placement policy as one
+// batch on the parallel runner, in FleetPolicyNames order.
+func RunFleetComparison(shape FleetShape, cfg ExperimentConfig) []FleetResult {
+	return core.RunFleetComparison(shape, cfg)
+}
+
+// FleetComparisonTable renders the policy-comparison rows as an aligned
+// text table.
+func FleetComparisonTable(rs []FleetResult) string {
+	return core.FleetComparisonTable(rs)
+}
+
+// FleetTrialOf is a multi-server trial with the given shape, for
+// caller-assembled grids via RunTrials.
+func FleetTrialOf(shape FleetShape) Trial { return exp.FleetTrial(shape) }
 
 // RunOptimization reproduces Figure 22 for one benchmark.
 func RunOptimization(prof Profile, cfg ExperimentConfig) OptimizationResult {

@@ -149,3 +149,32 @@ func TestPublicCharacterizationDriverKinds(t *testing.T) {
 		t.Fatal("characterization produced no client frames")
 	}
 }
+
+func TestPublicFleetExperiment(t *testing.T) {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	shape := pictor.FleetShape{
+		Machines: 2,
+		Policy:   pictor.PolicyLeastDemand,
+		Mix:      pictor.MixSuite,
+		Requests: 4,
+	}
+	r := pictor.RunFleetConsolidation(shape, cfg)
+	if len(r.Machines) != 2 {
+		t.Fatalf("got %d machines, want 2", len(r.Machines))
+	}
+	if r.Placed+r.Rejected != 4 {
+		t.Fatalf("placed %d + rejected %d must account for 4 requests", r.Placed, r.Rejected)
+	}
+	if r.TotalPowerWatts <= 0 || r.RTT.N == 0 {
+		t.Fatalf("fleet rollups missing: watts=%v rtt=%+v", r.TotalPowerWatts, r.RTT)
+	}
+	// A fleet-shaped trial runs through the generic trial runner too.
+	out := pictor.RunTrials([]pictor.Trial{pictor.FleetTrialOf(shape)}, cfg)
+	if out[0][0].Fleet == nil {
+		t.Fatal("fleet trial result missing Fleet payload")
+	}
+	if len(pictor.FleetPolicyNames()) != 4 {
+		t.Fatalf("want 4 policies, got %v", pictor.FleetPolicyNames())
+	}
+}
