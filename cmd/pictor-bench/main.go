@@ -6,14 +6,19 @@
 //	pictor-bench -exp fig10 [-seconds 60] [-seed 1] [-parallel 8] [-reps 3]
 //	pictor-bench -exp grid
 //	pictor-bench -exp fleet -machines 4 -policy binpack [-mix heavy] [-requests 16]
+//	pictor-bench -exp churn -machines 4 -rate 1.6 -duration 5 -epochs 10 [-migrate] [-cores 8,4]
 //	pictor-bench -exp all
 //
 // Experiment ids: tab2 tab3 tab4 fig6 fig7 overhead fig8 fig9 fig10
 // fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
-// fig22 grid fleet. "grid" runs the complete evaluation as one flat
-// trial grid on the parallel experiment runner; "fleet" goes beyond the
-// paper's single server and consolidates an instance-request stream
-// across a multi-machine fleet under every placement policy.
+// fig22 grid fleet churn. "grid" runs the complete evaluation as one
+// flat trial grid on the parallel experiment runner; "fleet" goes
+// beyond the paper's single server and consolidates an instance-request
+// stream across a multi-machine fleet under every placement policy;
+// "churn" replaces the one-shot stream with a Poisson arrival process
+// (exponential session lengths, departures) over an optionally
+// heterogeneous fleet and compares static placement against RTT-driven
+// migration.
 package main
 
 import (
@@ -39,10 +44,15 @@ func main() {
 	instances := flag.Int("max-instances", 4, "sweep upper bound for figs 10–17")
 	parallel := flag.Int("parallel", 0, "experiment-runner workers (0 = all cores); applies to batched experiments (grid, sweeps, multi-trial figures) and across -reps")
 	reps := flag.Int("reps", 1, "repetitions per trial with derived seeds")
-	machines := flag.Int("machines", 4, "fleet experiment: server machine count")
+	machines := flag.Int("machines", 4, "fleet/churn experiments: server machine count")
 	policy := flag.String("policy", fleet.PolicyBinPack, fmt.Sprintf("fleet experiment: placement policy to detail %v", fleet.PolicyNames()))
-	mix := flag.String("mix", string(fleet.MixSuite), fmt.Sprintf("fleet experiment: arrival mix %v", fleet.Mixes()))
+	mix := flag.String("mix", string(fleet.MixSuite), fmt.Sprintf("fleet/churn experiments: arrival mix %v", fleet.Mixes()))
 	requests := flag.Int("requests", 0, "fleet experiment: instance-request stream length (0 = 3 per machine)")
+	cores := flag.String("cores", "", "fleet/churn experiments: per-machine core classes, comma-separated and cycled (e.g. 8,4); empty = all 8")
+	rate := flag.Float64("rate", 1.6, "churn experiment: mean Poisson arrivals per epoch")
+	duration := flag.Float64("duration", 5, "churn experiment: mean session length in epochs (exponential)")
+	epochs := flag.Int("epochs", 10, "churn experiment: epoch count")
+	migrate := flag.Bool("migrate", true, "churn experiment: enable the RTT-driven migration controller in the detailed run")
 	flag.Parse()
 
 	cfg := core.DefaultExperimentConfig()
@@ -63,7 +73,10 @@ func main() {
 		"fig16": fig16, "fig17": fig17, "fig18": fig18, "fig19": fig19,
 		"fig20": fig20, "fig21": fig21, "fig22": fig22, "grid": grid,
 		"fleet": func(cfg core.ExperimentConfig) {
-			fleetExp(cfg, *machines, *policy, *mix, *requests)
+			fleetExp(cfg, *machines, *policy, *mix, *requests, *cores)
+		},
+		"churn": func(cfg core.ExperimentConfig) {
+			churnExp(cfg, *machines, *policy, *mix, *cores, *rate, *duration, *epochs, *migrate)
 		},
 	}
 	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
@@ -350,29 +363,55 @@ func grid(cfg core.ExperimentConfig) {
 	fmt.Printf("\ngrid complete in %s (wall)\n", elapsed.Round(time.Millisecond))
 }
 
+// fatalf prints an actionable flag-validation error and exits 2 (the
+// same exit the unknown-experiment path uses).
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+// validateFleetFlags checks the flag vocabulary shared by the fleet and
+// churn experiments before anything runs, so a typo fails with the
+// valid names instead of a panic mid-experiment.
+func validateFleetFlags(machines int, policy, mix, cores string) {
+	if machines < 1 {
+		fatalf("-machines must be >= 1, got %d", machines)
+	}
+	if _, err := fleet.NewPolicy(policy, nil); err != nil {
+		fatalf("%v", err)
+	}
+	if _, err := fleet.RequestStream(fleet.Mix(mix), 1, 1); err != nil {
+		fatalf("%v", err)
+	}
+	if _, err := fleet.ParseCoreClasses(cores); err != nil {
+		fatalf("-cores: %v", err)
+	}
+}
+
+// coreDesc describes a fleet's machine sizing for banners.
+func coreDesc(cores string) string {
+	if cores != "" {
+		return "cores " + cores
+	}
+	return fmt.Sprintf("%d cores", fleet.DefaultMachineCores)
+}
+
 // fleetExp consolidates an instance-request stream across a
 // multi-machine fleet: a detailed per-machine breakdown under the
 // selected policy, then the same shape under every placement policy as
 // one batch on the parallel runner.
-func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, requests int) {
-	if machines < 1 {
-		machines = 1
+func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, requests int, cores string) {
+	validateFleetFlags(machines, policy, mix, cores)
+	if requests < 0 {
+		fatalf("-requests must be >= 1 (or 0 for the 3-per-machine default), got %d", requests)
 	}
-	if requests < 1 {
+	if requests == 0 {
 		requests = 3 * machines
 	}
-	if _, err := fleet.NewPolicy(policy, nil); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if _, err := fleet.RequestStream(fleet.Mix(mix), 1, 1); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	shape := exp.FleetShape{Machines: machines, Policy: policy, Mix: mix, Requests: requests}
+	shape := exp.FleetShape{Machines: machines, Policy: policy, Mix: mix, Requests: requests, CoreClasses: cores}
 
-	fmt.Printf("fleet: %d machines × %d cores, %d requests (%s mix), %d workers, %d rep(s)\n\n",
-		machines, fleet.DefaultMachineCores, requests, mix,
+	fmt.Printf("fleet: %d machines × %s, %d requests (%s mix), %d workers, %d rep(s)\n\n",
+		machines, coreDesc(cores), requests, mix,
 		exp.EffectiveParallel(cfg.Parallel), exp.EffectiveReps(cfg.Reps))
 
 	r := core.RunFleetConsolidation(shape, cfg)
@@ -400,4 +439,50 @@ func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, reque
 	rs := core.RunFleetComparison(shape, cfg)
 	fmt.Print(core.FleetComparisonTable(rs))
 	fmt.Printf("comparison complete in %s (wall)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// churnExp drives the fleet through an epoch-based churn simulation —
+// Poisson arrivals, exponential session lengths, departures — printing
+// the detailed per-epoch table for the selected migration setting, then
+// the static-vs-migrate comparison over the identical tenant
+// population.
+func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores string, rate, duration float64, epochs int, migrate bool) {
+	validateFleetFlags(machines, policy, mix, cores)
+	if err := fleet.ValidateChurnParams(rate, duration, epochs); err != nil {
+		fatalf("-rate/-duration/-epochs: %v", err)
+	}
+	shape := exp.FleetShape{
+		Machines:          machines,
+		Policy:            policy,
+		Mix:               mix,
+		CoreClasses:       cores,
+		Epochs:            epochs,
+		ArrivalRate:       rate,
+		MeanSessionEpochs: duration,
+		Migrate:           migrate,
+	}
+
+	mode := "static"
+	if migrate {
+		mode = "RTT-driven migration"
+	}
+	fmt.Printf("churn: %d machines × %s, %s policy, %s mix, rate %g/epoch, mean session %g epochs, %d epochs, %s\n\n",
+		machines, coreDesc(cores), policy, mix, rate, duration, epochs, mode)
+
+	// One comparison batch covers both displays: the detailed per-epoch
+	// view picks the -migrate side out of it (re-running RunFleetChurn
+	// first would simulate the identical trial twice).
+	start := time.Now()
+	rs := core.RunChurnComparison(shape, cfg)
+	r := rs[0]
+	if migrate {
+		r = rs[1]
+	}
+	fmt.Printf("policy %s: %d arrivals, %d departures, %d migrations, %d rejected, %d QoS violations\n",
+		r.Policy, r.Arrivals, r.Departures, r.Migrations, r.Rejected, r.QoSViolations)
+	fmt.Print(core.ChurnTable(r))
+
+	fmt.Printf("\nstatic vs migrate (same tenant population):\n")
+	fmt.Print(core.ChurnComparisonTable(rs))
+	fmt.Printf("complete in %s (wall)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pictor/internal/exp"
+	"pictor/internal/fleet"
+	"pictor/internal/sim"
+	"pictor/internal/stats"
+)
+
+// EpochResult is one churn epoch's fleet-wide outcome: the lifecycle
+// events that happened in the epoch plus the measurements of the
+// sessions that executed in it.
+type EpochResult struct {
+	// Epoch is the epoch index.
+	Epoch int
+	// Arrivals..Rejected count the epoch's lifecycle events (Rejected
+	// arrivals found no feasible machine; Migrations were triggered by
+	// this epoch's measurements and take effect next epoch).
+	Arrivals   int
+	Departures int
+	Migrations int
+	Rejected   int
+	// Active is how many sessions actually executed this epoch.
+	Active int
+	// QoSViolations counts executed instances below the 25-FPS floor.
+	QoSViolations int
+	// PowerWatts is fleet wall power over the epoch, idle machines
+	// included.
+	PowerWatts float64
+	// RTT pools every executed instance's RTT distribution.
+	RTT stats.Summary
+}
+
+// ChurnResult is the outcome of one epoch-based churn trial: per-epoch
+// rows plus horizon-wide rollups.
+type ChurnResult struct {
+	// Policy, Mix and Migrate echo the executed shape.
+	Policy  string
+	Mix     string
+	Migrate bool
+	// Epochs holds one row per epoch, in order.
+	Epochs []EpochResult
+	// Totals over the horizon.
+	Arrivals      int
+	Departures    int
+	Migrations    int
+	Rejected      int
+	QoSViolations int
+	// MeanActive and MeanPowerWatts average the per-epoch session
+	// count and fleet power over the horizon.
+	MeanActive     float64
+	MeanPowerWatts float64
+	// RTT pools every executed instance's RTT distribution across all
+	// epochs.
+	RTT stats.Summary
+	// RepsMerged is how many repetitions the scalars aggregate (1 = a
+	// single execution; per-epoch rows average across reps — epochs
+	// align, because the horizon is part of the shape).
+	RepsMerged int
+}
+
+// executeFleetChurn lowers a churn-shaped trial onto an epoch loop:
+// depart due sessions, place this epoch's Poisson arrivals, execute
+// every machine as its own cluster with a seed derived per (machine,
+// epoch), measure per-machine RTT, and hand machines that violate the
+// QoS RTT ceiling to the migration controller for the next epoch. The
+// loop runs sequentially inside the one execution unit — the runner
+// already shards trials across workers — so churn sweeps stay
+// byte-identical at any parallelism level.
+func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
+	sh := *t.Fleet
+	// Like the one-shot stream, the arrival schedule must be derived
+	// policy- and migration-independently: the unit seed encodes the
+	// trial key (which names both), so a migration-vs-static comparison
+	// seeded from it would churn two *different* tenant populations.
+	// Deriving from the pinned trial seed and the schedule's own
+	// parameters keeps the populations matched (and distinct per rep);
+	// with no pinned seed ("-seed 0", derive-everything mode) the
+	// grid's base seed — key-independent by construction — fills in,
+	// never the key-derived u.Seed.
+	streamBase := t.Seed
+	if streamBase == 0 {
+		streamBase = u.Base
+	}
+	streamKey := fmt.Sprintf("fleet/churn|%s|rate=%g|dur=%g|epochs=%d",
+		sh.Mix, sh.ArrivalRate, sh.MeanSessionEpochs, sh.Epochs)
+	stream, err := fleet.ChurnStream(fleet.Mix(sh.Mix), sh.ArrivalRate, sh.MeanSessionEpochs,
+		sh.Epochs, exp.DeriveSeed(streamBase, streamKey, u.Rep))
+	if err != nil {
+		panic(fmt.Sprintf("core: churn trial %q: %v", t.ID, err))
+	}
+
+	pol := fleetPolicy(t.ID, sh.Policy)
+	f := buildFleet(t.ID, sh)
+	c := fleet.NewChurn(f, pol)
+
+	out := &ChurnResult{
+		Policy:     pol.Name(),
+		Mix:        string(sh.Mix),
+		Migrate:    sh.Migrate,
+		Epochs:     make([]EpochResult, 0, sh.Epochs),
+		RepsMerged: 1,
+	}
+	if out.Mix == "" {
+		out.Mix = string(fleet.MixSuite)
+	}
+
+	var allRTTs []stats.Summary
+	for e := 0; e < sh.Epochs; e++ {
+		er := EpochResult{Epoch: e}
+		er.Departures = c.DepartDue(e)
+		for _, s := range stream[e] {
+			er.Arrivals++
+			if !c.Arrive(s) {
+				er.Rejected++
+			}
+		}
+		er.Active = c.Active
+
+		// Execute: one cluster per machine, idle machines included (an
+		// empty cluster still burns idle watts — consolidation's whole
+		// power argument rests on that).
+		machineRTT := make([]stats.Summary, len(f.Machines))
+		var epochRTTs []stats.Summary
+		for mi, m := range f.Machines {
+			// Per-(machine, epoch) seeds derive from the stream base —
+			// not the unit seed, which encodes policy and Migrate — so
+			// a migration-vs-static (or policy) comparison runs matched
+			// execution noise and the delta is the placement's doing.
+			// Mixing in u.Rep keeps repetitions independent.
+			cl := NewCluster(Options{
+				Seed:  exp.DeriveSeed(streamBase, fmt.Sprintf("fleet/churn/m%d/e%d", mi, e), u.Rep),
+				Cores: int(m.Cores + 0.5),
+			})
+			for _, prof := range m.Placed {
+				cl.AddInstance(NewInstanceConfig(prof, HumanDriver()))
+			}
+			cl.Run(sim.DurationOfSeconds(t.Warmup), sim.DurationOfSeconds(t.Measure))
+			er.PowerWatts += cl.TotalPowerWatts()
+
+			var rtts []stats.Summary
+			for _, inst := range cl.Instances {
+				r := inst.Result()
+				if r.ClientFPS < fleet.QoSMinFPS {
+					er.QoSViolations++
+				}
+				if r.RTT.N > 0 {
+					rtts = append(rtts, r.RTT)
+				}
+			}
+			machineRTT[mi] = exp.PoolSummaries(rtts)
+			epochRTTs = append(epochRTTs, rtts...)
+		}
+		er.RTT = exp.PoolSummaries(epochRTTs)
+		allRTTs = append(allRTTs, epochRTTs...)
+
+		// Migrate: this epoch's measurements pick the sources (worst
+		// measured RTT first) and the targets (lowest measured RTT that
+		// fits); the moves land before the next epoch executes. The
+		// final epoch skips the controller — there is no next epoch for
+		// a move to help.
+		if sh.Migrate && e < sh.Epochs-1 {
+			rtt := make([]float64, len(f.Machines))
+			violators := make([]int, 0, len(f.Machines))
+			for mi := range f.Machines {
+				if machineRTT[mi].N > 0 {
+					rtt[mi] = machineRTT[mi].Mean
+					if rtt[mi] > fleet.QoSMaxRTTMs {
+						violators = append(violators, mi)
+					}
+				}
+			}
+			sort.SliceStable(violators, func(a, b int) bool {
+				return rtt[violators[a]] > rtt[violators[b]]
+			})
+			for _, mi := range violators {
+				if c.MigrateOff(mi, rtt) {
+					er.Migrations++
+				}
+			}
+		}
+
+		out.Epochs = append(out.Epochs, er)
+		out.Arrivals += er.Arrivals
+		out.Departures += er.Departures
+		out.Migrations += er.Migrations
+		out.Rejected += er.Rejected
+		out.QoSViolations += er.QoSViolations
+		out.MeanActive += float64(er.Active) / float64(sh.Epochs)
+		out.MeanPowerWatts += er.PowerWatts / float64(sh.Epochs)
+	}
+	out.RTT = exp.PoolSummaries(allRTTs)
+	return out
+}
+
+// mergeChurn folds a churn trial's repetitions: scalar rollups average,
+// RTT distributions pool, and — unlike mergeFleet's per-machine rows —
+// the per-epoch rows aggregate too, because the horizon is part of the
+// shape and epochs therefore align across repetitions.
+func mergeChurn(reps []TrialResult) ChurnResult {
+	out := *reps[0].Churn
+	out.RepsMerged = len(reps)
+	out.Epochs = append([]EpochResult(nil), out.Epochs...)
+	if len(reps) == 1 {
+		return out
+	}
+	inv := 1 / float64(len(reps))
+	roundMean := func(f func(ChurnResult) int) int {
+		sum := 0.0
+		for _, r := range reps {
+			sum += float64(f(*r.Churn)) * inv
+		}
+		return int(sum + 0.5)
+	}
+	out.Arrivals = roundMean(func(r ChurnResult) int { return r.Arrivals })
+	out.Departures = roundMean(func(r ChurnResult) int { return r.Departures })
+	out.Migrations = roundMean(func(r ChurnResult) int { return r.Migrations })
+	out.Rejected = roundMean(func(r ChurnResult) int { return r.Rejected })
+	out.QoSViolations = roundMean(func(r ChurnResult) int { return r.QoSViolations })
+	out.MeanActive, out.MeanPowerWatts = 0, 0
+	rtts := make([]stats.Summary, 0, len(reps))
+	for _, r := range reps {
+		out.MeanActive += r.Churn.MeanActive * inv
+		out.MeanPowerWatts += r.Churn.MeanPowerWatts * inv
+		if r.Churn.RTT.N > 0 {
+			rtts = append(rtts, r.Churn.RTT)
+		}
+	}
+	out.RTT = exp.PoolSummaries(rtts)
+
+	for ei := range out.Epochs {
+		e := EpochResult{Epoch: ei}
+		sums := struct{ arr, dep, mig, rej, act, qos, watts float64 }{}
+		ertts := make([]stats.Summary, 0, len(reps))
+		for _, r := range reps {
+			re := r.Churn.Epochs[ei]
+			sums.arr += float64(re.Arrivals) * inv
+			sums.dep += float64(re.Departures) * inv
+			sums.mig += float64(re.Migrations) * inv
+			sums.rej += float64(re.Rejected) * inv
+			sums.act += float64(re.Active) * inv
+			sums.qos += float64(re.QoSViolations) * inv
+			sums.watts += re.PowerWatts * inv
+			if re.RTT.N > 0 {
+				ertts = append(ertts, re.RTT)
+			}
+		}
+		e.Arrivals = int(sums.arr + 0.5)
+		e.Departures = int(sums.dep + 0.5)
+		e.Migrations = int(sums.mig + 0.5)
+		e.Rejected = int(sums.rej + 0.5)
+		e.Active = int(sums.act + 0.5)
+		e.QoSViolations = int(sums.qos + 0.5)
+		e.PowerWatts = sums.watts
+		e.RTT = exp.PoolSummaries(ertts)
+		out.Epochs[ei] = e
+	}
+	return out
+}
+
+// churnTrial builds the runner trial for a churn shape with the
+// config's windows and pinned seed.
+func churnTrial(shape exp.FleetShape, cfg ExperimentConfig) exp.Trial {
+	t := exp.FleetTrial(shape)
+	t.Warmup, t.Measure, t.Seed = cfg.WarmupSeconds, cfg.Seconds, cfg.Seed
+	pol := shape.Policy
+	if pol == "" {
+		pol = fleet.PolicyRoundRobin
+	}
+	mix := shape.Mix
+	if mix == "" {
+		mix = string(fleet.MixSuite)
+	}
+	mode := "static"
+	if shape.Migrate {
+		mode = "migrate"
+	}
+	t.ID = fmt.Sprintf("churn/%s/%s/m%d×e%d/%s", pol, mix, shape.Machines, shape.Epochs, mode)
+	return t
+}
+
+// RunFleetChurn drives the shape's fleet through its churn horizon —
+// Poisson arrivals, exponential session departures and (when enabled)
+// RTT-driven migration — reporting per-epoch QoS, migration and power
+// rows plus horizon rollups. With cfg.Reps > 1 both the rollups and the
+// per-epoch rows aggregate across derived seeds (see mergeChurn).
+// Invalid policy, mix, core-class or churn parameters panic immediately
+// (the vocabulary is fixed — see validateFleetShape).
+func RunFleetChurn(shape exp.FleetShape, cfg ExperimentConfig) ChurnResult {
+	if !shape.Churn() {
+		panic(fmt.Sprintf("core: RunFleetChurn needs a churn shape (Epochs >= 1, got %d); use RunFleetConsolidation for one-shot admission", shape.Epochs))
+	}
+	validateFleetShape(shape)
+	return mergeChurn(RunTrials([]exp.Trial{churnTrial(shape, cfg)}, cfg)[0])
+}
+
+// RunChurnComparison runs the shape twice as one batch on the parallel
+// runner — static placement (no migration) and with the migration
+// controller — and returns {static, migrated}. Both trials churn the
+// identical tenant population (the arrival schedule is derived from the
+// config seed and the schedule parameters only), so the delta is the
+// controller's doing, not stream luck.
+func RunChurnComparison(shape exp.FleetShape, cfg ExperimentConfig) []ChurnResult {
+	if !shape.Churn() {
+		panic(fmt.Sprintf("core: RunChurnComparison needs a churn shape (Epochs >= 1, got %d); use RunFleetComparison for one-shot admission", shape.Epochs))
+	}
+	validateFleetShape(shape)
+	static, migrated := shape, shape
+	static.Migrate = false
+	migrated.Migrate = true
+	trials := []exp.Trial{churnTrial(static, cfg), churnTrial(migrated, cfg)}
+	all := RunTrials(trials, cfg)
+	return []ChurnResult{mergeChurn(all[0]), mergeChurn(all[1])}
+}
+
+// ChurnTable renders one churn outcome as per-epoch rows: session
+// lifecycle, QoS violations, interactivity and fleet power.
+func ChurnTable(r ChurnResult) string {
+	t := stats.NewTable("epoch", "active", "arrive", "depart", "migrate", "reject",
+		"QoS-viol", "RTT mean", "RTT p99", "fleet W")
+	for _, e := range r.Epochs {
+		t.Row(
+			fmt.Sprintf("%d", e.Epoch),
+			fmt.Sprintf("%d", e.Active),
+			fmt.Sprintf("%d", e.Arrivals),
+			fmt.Sprintf("%d", e.Departures),
+			fmt.Sprintf("%d", e.Migrations),
+			fmt.Sprintf("%d", e.Rejected),
+			fmt.Sprintf("%d", e.QoSViolations),
+			fmt.Sprintf("%.1f ms", e.RTT.Mean),
+			fmt.Sprintf("%.1f ms", e.RTT.P99),
+			fmt.Sprintf("%.1f", e.PowerWatts))
+	}
+	return t.String()
+}
+
+// ChurnComparisonTable renders churn outcomes side by side (one row
+// each, static vs migrate) — the "does migration pay" table.
+func ChurnComparisonTable(rs []ChurnResult) string {
+	t := stats.NewTable("mode", "arrivals", "rejected", "migrations",
+		"QoS-viol", "RTT mean", "RTT p99", "mean W")
+	for _, r := range rs {
+		mode := "static"
+		if r.Migrate {
+			mode = "migrate"
+		}
+		t.Row(mode,
+			fmt.Sprintf("%d", r.Arrivals),
+			fmt.Sprintf("%d", r.Rejected),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.QoSViolations),
+			fmt.Sprintf("%.1f ms", r.RTT.Mean),
+			fmt.Sprintf("%.1f ms", r.RTT.P99),
+			fmt.Sprintf("%.1f", r.MeanPowerWatts))
+	}
+	return t.String()
+}

@@ -20,10 +20,13 @@ type TrialResult struct {
 	// the human run's raw trace). Nil otherwise, so grids release each
 	// simulated machine as soon as its trial finishes.
 	Cluster *Cluster
-	// Fleet holds the multi-server outcome when the trial has a fleet
-	// shape; Results is empty in that case (instances live under
-	// Fleet.Machines).
+	// Fleet holds the multi-server outcome when the trial has a
+	// one-shot fleet shape; Results is empty in that case (instances
+	// live under Fleet.Machines).
 	Fleet *FleetResult
+	// Churn holds the epoch-based outcome when the trial's fleet shape
+	// churns (Epochs > 0); Results and Fleet are empty in that case.
+	Churn *ChurnResult
 }
 
 // ExecuteTrial builds a cluster for the trial, runs it, and snapshots
@@ -33,6 +36,10 @@ type TrialResult struct {
 // produce byte-identical results.
 func ExecuteTrial(t exp.Trial, u exp.Unit) TrialResult {
 	if t.Fleet != nil {
+		if t.Fleet.Churn() {
+			cr := executeFleetChurn(t, u)
+			return TrialResult{Rep: u.Rep, Seed: u.Seed, Churn: cr, PowerWatts: cr.MeanPowerWatts}
+		}
 		fr := executeFleet(t, u)
 		return TrialResult{Rep: u.Rep, Seed: u.Seed, Fleet: fr, PowerWatts: fr.TotalPowerWatts}
 	}

@@ -42,7 +42,15 @@ type FleetResult struct {
 	// comparison consolidates the identical stream.
 	Requests []string
 	// Machines holds per-machine results, index-aligned with the fleet.
+	// Provenance caveat: when RepsMerged > 1, these rows describe
+	// repetition 0 only (randomized mixes place differently under
+	// different derived seeds, so machines do not align across reps),
+	// while the fleet-level scalars below aggregate every repetition —
+	// summing the rows will not reproduce the pooled totals.
 	Machines []MachineResult
+	// RepsMerged is how many repetitions the fleet-level scalars
+	// aggregate (1 = a single execution; see mergeFleet).
+	RepsMerged int
 	// Placed and Rejected partition the request stream: admission turns
 	// a request away when no machine has overcommitted capacity left.
 	Placed   int
@@ -64,38 +72,25 @@ type FleetResult struct {
 // byte-identical at any parallelism level.
 func executeFleet(t exp.Trial, u exp.Unit) *FleetResult {
 	sh := *t.Fleet
-	if sh.Machines < 1 {
-		sh.Machines = 1
-	}
-	if sh.MachineCores <= 0 {
-		sh.MachineCores = fleet.DefaultMachineCores
-	}
 	// The stream seed must be policy-independent: u.Seed derives from
 	// the trial key, which names the policy, so deriving the stream
 	// from it would hand every policy of a comparison a *different*
 	// random arrival stream on reps >= 1. Deriving from the trial's
 	// pinned seed and the stream's own parameters keeps the streams
 	// matched across policies (and still distinct per rep and mix);
-	// u.Seed is the fallback only when no seed was pinned.
+	// with no pinned seed the grid's base seed — key-independent by
+	// construction — fills in, never the key-derived u.Seed.
 	streamBase := t.Seed
 	if streamBase == 0 {
-		streamBase = u.Seed
+		streamBase = u.Base
 	}
 	streamKey := fmt.Sprintf("fleet/mix|%s|%d", sh.Mix, sh.Requests)
 	reqs, err := fleet.RequestStream(fleet.Mix(sh.Mix), sh.Requests, exp.DeriveSeed(streamBase, streamKey, u.Rep))
 	if err != nil {
 		panic(fmt.Sprintf("core: fleet trial %q: %v", t.ID, err))
 	}
-	var it *fleet.Interference
-	if sh.Policy == fleet.PolicyBinPack {
-		it = PairInterference()
-	}
-	pol, err := fleet.NewPolicy(sh.Policy, it)
-	if err != nil {
-		panic(fmt.Sprintf("core: fleet trial %q: %v", t.ID, err))
-	}
-
-	f := fleet.New(sh.Machines, float64(sh.MachineCores))
+	pol := fleetPolicy(t.ID, sh.Policy)
+	f := buildFleet(t.ID, sh)
 	f.Admit(reqs, pol)
 
 	out := &FleetResult{
@@ -115,7 +110,7 @@ func executeFleet(t exp.Trial, u exp.Unit) *FleetResult {
 	for mi, m := range f.Machines {
 		cl := NewCluster(Options{
 			Seed:  exp.DeriveSeed(u.Seed, "fleet/machine", mi),
-			Cores: sh.MachineCores,
+			Cores: int(m.Cores + 0.5),
 		})
 		for _, prof := range m.Placed {
 			cl.AddInstance(NewInstanceConfig(prof, HumanDriver()))
@@ -149,6 +144,43 @@ func executeFleet(t exp.Trial, u exp.Unit) *FleetResult {
 	}
 	out.RTT = exp.PoolSummaries(fleetRTTs)
 	return out
+}
+
+// buildFleet constructs the placement-time fleet for a shape:
+// heterogeneous when CoreClasses is set (classes cycle across
+// machines), homogeneous at MachineCores (default: the paper testbed's
+// 8) otherwise.
+func buildFleet(id string, sh exp.FleetShape) *fleet.Fleet {
+	machines := sh.Machines
+	if machines < 1 {
+		machines = 1
+	}
+	classes, err := fleet.ParseCoreClasses(sh.CoreClasses)
+	if err != nil {
+		panic(fmt.Sprintf("core: fleet trial %q: %v", id, err))
+	}
+	if len(classes) == 0 {
+		cores := float64(sh.MachineCores)
+		if cores <= 0 {
+			cores = fleet.DefaultMachineCores
+		}
+		classes = []float64{cores}
+	}
+	return fleet.NewHetero(machines, classes)
+}
+
+// fleetPolicy resolves a placement-policy name, wiring the measured
+// pair-interference table into the bin-packer.
+func fleetPolicy(id, name string) fleet.Placement {
+	var it *fleet.Interference
+	if name == fleet.PolicyBinPack {
+		it = PairInterference()
+	}
+	pol, err := fleet.NewPolicy(name, it)
+	if err != nil {
+		panic(fmt.Sprintf("core: fleet trial %q: %v", id, err))
+	}
+	return pol
 }
 
 // ---------------------------------------------------------------------------
@@ -237,9 +269,18 @@ func fleetTrial(shape exp.FleetShape, cfg ExperimentConfig) exp.Trial {
 // mergeFleet folds a fleet trial's repetitions: fleet-scope scalars
 // average and RTT distributions pool across seeds. Per-machine detail
 // comes from the first repetition — randomized mixes place differently
-// under different derived seeds, so machines do not align across reps.
+// under different derived seeds, so machines do not align across reps —
+// and FleetResult.RepsMerged marks that provenance. The per-machine and
+// request slices are deep-copied: the merged value used to alias rep
+// 0's slices, so mutating one silently corrupted the other.
 func mergeFleet(reps []TrialResult) FleetResult {
 	out := *reps[0].Fleet
+	out.RepsMerged = len(reps)
+	out.Requests = append([]string(nil), out.Requests...)
+	out.Machines = append([]MachineResult(nil), out.Machines...)
+	for i := range out.Machines {
+		out.Machines[i].Results = append([]InstanceResult(nil), out.Machines[i].Results...)
+	}
 	if len(reps) == 1 {
 		return out
 	}
@@ -264,17 +305,28 @@ func mergeFleet(reps []TrialResult) FleetResult {
 	return out
 }
 
-// validateFleetShape rejects unknown policy or mix names before any
-// trial reaches the parallel runner: a worker panic mid-grid is
-// unattributable, a caller-goroutine panic with the valid names is
-// actionable. (The experiment entry points have no error returns —
-// like SuiteByName, invalid fixed vocabulary panics by contract.)
+// validateFleetShape rejects unknown policy or mix names — and, for
+// churn shapes, invalid churn parameters — before any trial reaches
+// the parallel runner: a worker panic mid-grid is unattributable, a
+// caller-goroutine panic with the valid names is actionable. (The
+// experiment entry points have no error returns — like SuiteByName,
+// invalid fixed vocabulary panics by contract.)
 func validateFleetShape(shape exp.FleetShape) {
 	if _, err := fleet.NewPolicy(shape.Policy, nil); err != nil {
 		panic("core: " + err.Error())
 	}
 	if _, err := fleet.RequestStream(fleet.Mix(shape.Mix), 1, 1); err != nil {
 		panic("core: " + err.Error())
+	}
+	if _, err := fleet.ParseCoreClasses(shape.CoreClasses); err != nil {
+		panic("core: " + err.Error())
+	}
+	if shape.Churn() {
+		if err := fleet.ValidateChurnParams(shape.ArrivalRate, shape.MeanSessionEpochs, shape.Epochs); err != nil {
+			panic("core: " + err.Error())
+		}
+	} else if shape.Requests < 1 {
+		panic(fmt.Sprintf("core: fleet shape needs Requests >= 1, got %d (churn shapes set Epochs instead)", shape.Requests))
 	}
 }
 
@@ -285,6 +337,9 @@ func validateFleetShape(shape exp.FleetShape) {
 // seeds (see mergeFleet). Unknown policy or mix names panic immediately
 // (the vocabulary is fixed — see fleet.PolicyNames and fleet.Mixes).
 func RunFleetConsolidation(shape exp.FleetShape, cfg ExperimentConfig) FleetResult {
+	if shape.Churn() {
+		panic(fmt.Sprintf("core: RunFleetConsolidation needs a one-shot shape (Epochs == 0, got %d); use RunFleetChurn for churn", shape.Epochs))
+	}
 	validateFleetShape(shape)
 	return mergeFleet(RunTrials([]exp.Trial{fleetTrial(shape, cfg)}, cfg)[0])
 }
@@ -296,6 +351,9 @@ func RunFleetConsolidation(shape exp.FleetShape, cfg ExperimentConfig) FleetResu
 // config seed and the stream parameters only), so rankings reflect
 // placement, not stream luck. Unknown mix names panic immediately.
 func RunFleetComparison(shape exp.FleetShape, cfg ExperimentConfig) []FleetResult {
+	if shape.Churn() {
+		panic(fmt.Sprintf("core: RunFleetComparison needs a one-shot shape (Epochs == 0, got %d); use RunChurnComparison for churn", shape.Epochs))
+	}
 	shape.Policy = ""
 	validateFleetShape(shape)
 	names := fleet.PolicyNames()

@@ -22,6 +22,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fi
 const (
 	goldenPath      = "testdata/methodology_golden.txt"
 	fleetGoldenPath = "testdata/fleet_golden.txt"
+	churnGoldenPath = "testdata/churn_golden.txt"
 )
 
 // checkGolden compares got against the pinned fixture at path, or
@@ -138,4 +139,59 @@ func TestGoldenFleetConsolidation(t *testing.T) {
 		t.Fatalf("fleet output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
 	}
 	checkGolden(t, fleetGoldenPath, seq)
+}
+
+// renderChurn produces a byte-stable rendering of a churn comparison:
+// every float prints via %v, so two renderings are equal iff every
+// epoch of every result is bit-identical.
+func renderChurn(rs []ChurnResult) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%s/%s migrate=%t arr=%d dep=%d mig=%d rej=%d qos=%d active=%v watts=%v rtt=%+v\n",
+			r.Policy, r.Mix, r.Migrate, r.Arrivals, r.Departures, r.Migrations, r.Rejected,
+			r.QoSViolations, r.MeanActive, r.MeanPowerWatts, r.RTT)
+		for _, e := range r.Epochs {
+			fmt.Fprintf(&sb, "  e%d active=%d arr=%d dep=%d mig=%d rej=%d qos=%d watts=%v rtt=%+v\n",
+				e.Epoch, e.Active, e.Arrivals, e.Departures, e.Migrations, e.Rejected,
+				e.QoSViolations, e.PowerWatts, e.RTT)
+		}
+	}
+	return sb.String()
+}
+
+// TestGoldenFleetChurn pins the epoch-based churn simulation the way
+// the fleet fixture pins one-shot admission: a fixed-seed
+// RunChurnComparison — Poisson arrivals with departures over a
+// heterogeneous (8,4-core) fleet, migration off and on, with
+// repetitions so derived per-rep, per-epoch and per-machine seeds are
+// all exercised — must be byte-identical at -parallel 1 and 8 and must
+// match the recorded fixture.
+func TestGoldenFleetChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 churn trials × 2 reps × 2 parallelism levels")
+	}
+	shape := exp.FleetShape{
+		Machines:          3,
+		Policy:            fleet.PolicyRoundRobin,
+		Mix:               string(fleet.MixHeavy),
+		CoreClasses:       "8,4",
+		Epochs:            6,
+		ArrivalRate:       2,
+		MeanSessionEpochs: 3,
+	}
+	base := QuickExperimentConfig()
+	base.WarmupSeconds, base.Seconds = 1, 5
+	base.Reps = 2
+
+	render := func(parallel int) string {
+		cfg := base
+		cfg.Parallel = parallel
+		return renderChurn(RunChurnComparison(shape, cfg))
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("churn output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
+	}
+	checkGolden(t, churnGoldenPath, seq)
 }

@@ -98,13 +98,42 @@ type FleetShape struct {
 	// Mix is the arrival-mix name (see fleet.Mixes); "" means the
 	// suite cycled in paper order.
 	Mix string
-	// Requests is the instance-request stream length (< 1 executes
-	// as 1).
+	// Requests is the one-shot instance-request stream length. It must
+	// be >= 1 for non-churn shapes (the executor rejects non-positive
+	// streams rather than silently running one request) and is ignored
+	// when the shape churns — arrivals come from the Poisson process.
 	Requests int
 	// MachineCores is each server's core count; <= 0 means the paper
-	// testbed's 8.
+	// testbed's 8. CoreClasses, when set, wins.
 	MachineCores int
+	// CoreClasses makes the fleet heterogeneous: a comma-separated
+	// per-machine core-class list (e.g. "8,4"), cycled across machines
+	// (see fleet.ParseCoreClasses). "" keeps every machine at
+	// MachineCores.
+	CoreClasses string
+
+	// Churn fields: a shape with Epochs > 0 runs as an epoch-based
+	// churn simulation (Poisson arrivals, exponential sessions,
+	// optional RTT-driven migration) instead of one-shot admission.
+
+	// Epochs is the churn horizon (number of place→execute→measure→
+	// migrate rounds); 0 selects the one-shot admission path.
+	Epochs int
+	// ArrivalRate is the mean Poisson arrival count per epoch.
+	ArrivalRate float64
+	// MeanSessionEpochs is the mean exponential session length, in
+	// epochs (rounded up; every session runs at least one epoch).
+	MeanSessionEpochs float64
+	// Migrate enables the migration controller: machines whose
+	// measured mean RTT from the previous epoch exceeds
+	// fleet.QoSMaxRTTMs shed their heaviest session to a feasible
+	// machine chosen by the placement policy.
+	Migrate bool
 }
+
+// Churn reports whether the shape runs the epoch-based churn simulation
+// rather than one-shot admission.
+func (f FleetShape) Churn() bool { return f.Epochs > 0 }
 
 // Trial is one independent benchmark session: some instances co-located
 // on one simulated server, run for Warmup+Measure seconds.
@@ -186,8 +215,19 @@ func (t Trial) Key() string {
 	key := fmt.Sprintf("w=%g;m=%g;s=%d", t.Warmup, t.Measure, t.Seed)
 	if t.Fleet != nil {
 		f := *t.Fleet
-		return key + fmt.Sprintf("|fleet:n=%d:pol=%s:mix=%s:req=%d:cores=%d",
+		key += fmt.Sprintf("|fleet:n=%d:pol=%s:mix=%s:req=%d:cores=%d",
 			f.Machines, f.Policy, f.Mix, f.Requests, f.MachineCores)
+		// Heterogeneity and churn serialize only when set, so every
+		// pre-churn shape keeps its exact historical key (and therefore
+		// its derived per-rep seeds and golden fixtures).
+		if f.CoreClasses != "" {
+			key += fmt.Sprintf(":classes=%s", f.CoreClasses)
+		}
+		if f.Churn() {
+			key += fmt.Sprintf(":churn=e%d:rate=%g:dur=%g:mig=%t",
+				f.Epochs, f.ArrivalRate, f.MeanSessionEpochs, f.Migrate)
+		}
+		return key
 	}
 	for _, is := range t.Instances {
 		key += fmt.Sprintf("|%s:%s:mode=%d:troff=%t:ip=%+v:ct=%t",

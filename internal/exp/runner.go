@@ -41,11 +41,16 @@ func (o RunOptions) normalize() RunOptions {
 }
 
 // Unit identifies one execution of one trial: the repetition index and
-// the seed the executor must build its cluster with.
+// the seed the executor must build its cluster with. Base echoes the
+// grid's base seed (RunOptions.BaseSeed): unlike Seed it is independent
+// of the trial's key, so executors that must derive *matched* streams
+// across related trials (fleet comparisons share one arrival stream
+// across policies) can fall back to it when no trial seed is pinned.
 type Unit struct {
 	TrialIndex int
 	Rep        int
 	Seed       int64
+	Base       int64
 }
 
 // UnitSeed resolves the seed for repetition rep of trial t: a pinned
@@ -118,6 +123,7 @@ func Run[T any](trials []Trial, exec func(Trial, Unit) T, opts RunOptions) [][]T
 					TrialIndex: u.trial,
 					Rep:        u.rep,
 					Seed:       UnitSeed(t, u.rep, opts.BaseSeed),
+					Base:       opts.BaseSeed,
 				})
 			}
 		}()

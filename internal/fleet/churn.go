@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pictor/internal/app"
+	"pictor/internal/sim"
+)
+
+// Churn bookkeeping: the fleet admitted a fixed-length stream once and
+// never looked back, but real cloud-gaming fleets face tenants that
+// arrive (Poisson), stay (exponential session lengths) and leave — and
+// must be re-placed when a machine's measured interactivity degrades.
+// This file owns the deterministic arrival schedule and the placement
+// bookkeeping over time; it deliberately knows nothing about executing
+// a machine — the assembly layer (internal/core.RunFleetChurn) drives
+// the epoch loop and feeds measured RTTs back into MigrateOff.
+
+// Session is one churn tenant: a benchmark instance that arrives in
+// some epoch, runs on one machine, and departs when its exponential
+// session length elapses.
+type Session struct {
+	// ID is the arrival sequence number (stable identity; migration
+	// victims tie-break toward the lower ID).
+	ID int
+	// Profile is the benchmark the tenant runs.
+	Profile app.Profile
+	// Arrive is the epoch the session arrives in.
+	Arrive int
+	// Departs is the first epoch the session is gone (Arrive + its
+	// sampled duration, always >= Arrive + 1).
+	Departs int
+	// Machine is the session's current machine index; -1 while
+	// unplaced or after a rejection.
+	Machine int
+}
+
+// ValidateChurnParams checks the churn-shape vocabulary with actionable
+// messages. It is shared by ChurnStream and the shape validators, so a
+// typo fails identically whether it arrives via the CLI or the API.
+func ValidateChurnParams(rate, meanEpochs float64, epochs int) error {
+	if epochs < 1 {
+		return fmt.Errorf("fleet: churn needs at least 1 epoch, got %d", epochs)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("fleet: churn arrival rate must be > 0 sessions/epoch, got %g", rate)
+	}
+	if meanEpochs <= 0 {
+		return fmt.Errorf("fleet: churn mean session length must be > 0 epochs, got %g", meanEpochs)
+	}
+	return nil
+}
+
+// ChurnStream generates the deterministic arrival schedule: for each of
+// the epochs, the sessions arriving in it. Arrival counts are
+// Poisson(rate) per epoch, profiles are drawn from the named mix, and
+// session lengths are exponential with mean meanEpochs (rounded up, so
+// every session runs at least one epoch). The schedule is a pure
+// function of (mix, rate, meanEpochs, epochs, seed): arrivals,
+// durations and profiles draw from independent sim.RNG forks, so the
+// same shape always churns identically on the parallel runner.
+func ChurnStream(mix Mix, rate, meanEpochs float64, epochs int, seed int64) ([][]*Session, error) {
+	if err := ValidateChurnParams(rate, meanEpochs, epochs); err != nil {
+		return nil, err
+	}
+	draw, err := profileDrawer(mix, seed)
+	if err != nil {
+		return nil, err
+	}
+	arrivals := sim.NewRNG(seed).Fork("fleet/churn/arrivals")
+	durations := sim.NewRNG(seed).Fork("fleet/churn/durations")
+	out := make([][]*Session, epochs)
+	id := 0
+	for e := range out {
+		for i := arrivals.Poisson(rate); i > 0; i-- {
+			d := int(math.Ceil(durations.Exponential(meanEpochs)))
+			if d < 1 {
+				d = 1
+			}
+			out[e] = append(out[e], &Session{
+				ID:      id,
+				Profile: draw(),
+				Arrive:  e,
+				Departs: e + d,
+				Machine: -1,
+			})
+			id++
+		}
+	}
+	return out, nil
+}
+
+// Churn drives a fleet through arrivals, departures and migrations. It
+// maintains the invariant that sessions[mi] is index-aligned with
+// Fleet.Machines[mi].Placed (same order), so every release maps a
+// session to exactly the placement slot it occupies.
+type Churn struct {
+	Fleet  *Fleet
+	Policy Placement
+	// sessions holds each machine's resident sessions in placement
+	// order, index-aligned with Fleet.Machines.
+	sessions [][]*Session
+	// Active counts the sessions currently placed fleet-wide.
+	Active int
+	// Rejected, Departed and Migrations count lifecycle events since
+	// construction.
+	Rejected   int
+	Departed   int
+	Migrations int
+}
+
+// NewChurn wraps a fleet and a placement policy for churn-driven
+// admission. The policy persists across epochs (stateful policies like
+// round-robin keep their cursor).
+func NewChurn(f *Fleet, p Placement) *Churn {
+	return &Churn{Fleet: f, Policy: p, sessions: make([][]*Session, len(f.Machines))}
+}
+
+// Arrive offers a session to the policy. A placed session joins its
+// machine's resident list; a rejected one keeps Machine == -1 and is
+// never retried (the tenant went elsewhere).
+func (c *Churn) Arrive(s *Session) bool {
+	mi := c.Fleet.placeOne(s.Profile, c.Policy)
+	if mi < 0 {
+		s.Machine = -1
+		c.Rejected++
+		return false
+	}
+	s.Machine = mi
+	c.sessions[mi] = append(c.sessions[mi], s)
+	c.Active++
+	return true
+}
+
+// DepartDue releases every resident session whose Departs epoch has
+// been reached, returning how many left. Releases recompute machine
+// demand over the survivors (see Machine.release), so a departure
+// reverses the session's place bookkeeping exactly.
+func (c *Churn) DepartDue(epoch int) int {
+	departed := 0
+	for mi := range c.sessions {
+		for slot := len(c.sessions[mi]) - 1; slot >= 0; slot-- {
+			s := c.sessions[mi][slot]
+			if s.Departs > epoch {
+				continue
+			}
+			c.releaseSlot(mi, slot)
+			s.Machine = -1
+			departed++
+		}
+	}
+	c.Departed += departed
+	c.Active -= departed
+	return departed
+}
+
+// releaseSlot removes slot i from machine mi on both sides of the
+// session↔placement alignment.
+func (c *Churn) releaseSlot(mi, i int) {
+	c.Fleet.Machines[mi].release(i)
+	c.sessions[mi] = append(c.sessions[mi][:i], c.sessions[mi][i+1:]...)
+}
+
+// MigrateOff moves one session off machine mi, targeting by *measured*
+// interactivity: rttMs holds each machine's mean RTT from the previous
+// epoch's execution (0 for idle machines), and the destination is the
+// feasible machine with the lowest measured RTT (ties toward the lower
+// index). Placement policies rank by predicted demand, but prediction
+// missing an interference effect is exactly why a machine degrades —
+// the controller must trust the measurement on both ends, or it would
+// happily "relieve" a hot machine by heating up another.
+//
+// Victim candidates are tried in decreasing predicted-CPU-demand order
+// (ties toward the earlier slot, i.e. the lower session ID), falling
+// back to lighter sessions: the heaviest tenant is exactly the one
+// hardest to re-place, and an overloaded machine is still relieved by
+// shedding its heaviest *movable* tenant. It reports whether a
+// migration happened; when the rest of the fleet has no room (or is
+// measuring no better than the source), nothing moves — migration must
+// never turn into an eviction or a swap of one hot machine for another.
+func (c *Churn) MigrateOff(mi int, rttMs []float64) bool {
+	order := make([]int, len(c.sessions[mi]))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return PredictedCPUDemand(c.sessions[mi][order[a]].Profile) >
+			PredictedCPUDemand(c.sessions[mi][order[b]].Profile)
+	})
+	for _, victim := range order {
+		s := c.sessions[mi][victim]
+		d := PredictedCPUDemand(s.Profile)
+		target := -1
+		for _, m := range c.Fleet.Machines {
+			// Targets must hold the session *without* overcommit:
+			// admission overcommits (×Overcommit) for density, but a
+			// QoS-restoring move that lands the tenant on a machine
+			// already past its un-overcommitted capacity just recreates
+			// the violation somewhere else.
+			if m.Index == mi || !m.Fits(d, 1) {
+				continue
+			}
+			// A target must measure both better than the source *and*
+			// within the QoS ceiling itself: "merely less hot" is not
+			// good enough — dumping load on a machine that is already
+			// violating worsens its violation and invites ping-ponging
+			// sessions between hot machines.
+			if rttMs[m.Index] >= rttMs[mi] || rttMs[m.Index] > QoSMaxRTTMs {
+				continue
+			}
+			if target < 0 || rttMs[m.Index] < rttMs[target] {
+				target = m.Index
+			}
+		}
+		if target < 0 {
+			continue
+		}
+		c.releaseSlot(mi, victim)
+		c.Fleet.Machines[target].place(s.Profile)
+		c.sessions[target] = append(c.sessions[target], s)
+		s.Machine = target
+		c.Migrations++
+		return true
+	}
+	return false
+}
+
+// Resident returns machine mi's sessions in placement order (aliases
+// internal state; callers must not mutate).
+func (c *Churn) Resident(mi int) []*Session { return c.sessions[mi] }

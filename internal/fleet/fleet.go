@@ -16,6 +16,8 @@ package fleet
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"pictor/internal/app"
 	"pictor/internal/sim"
@@ -37,6 +39,14 @@ const DefaultOvercommit = 1.5
 // paper's co-location analysis (Figure 18) treats a benchmark below 25
 // client FPS as no longer playable.
 const QoSMinFPS = 25.0
+
+// QoSMaxRTTMs is the migration controller's trigger: a machine whose
+// measured (pooled) mean RTT from the previous epoch exceeds this is
+// treated as violating the 25-FPS interactivity floor and becomes a
+// migration source. Calibrated against the consolidation fixtures:
+// machines hosting a sub-QoSMinFPS instance measure pooled mean RTTs
+// of ~144 ms and above, while machines meeting QoS stay below ~120 ms.
+const QoSMaxRTTMs = 140.0
 
 // Machine is the placement-time view of one server: bookkeeping the
 // policies read (what is placed, predicted demand), not the simulated
@@ -61,10 +71,32 @@ func (m *Machine) Fits(d, overcommit float64) bool {
 	return m.Demand+d <= m.Cores*overcommit
 }
 
-// place records a request on the machine.
+// place records a request on the machine. Demand is recomputed as the
+// left-to-right sum over the placed list (identical to incremental
+// accumulation for append-only admission), so release can reverse the
+// bookkeeping exactly.
 func (m *Machine) place(p app.Profile) {
 	m.Placed = append(m.Placed, p)
-	m.Demand += PredictedCPUDemand(p)
+	m.Demand = sumDemand(m.Placed)
+}
+
+// release removes the placed instance at slot i (reversing place).
+// Demand is recomputed over the survivors in order, so releasing a
+// session leaves Demand bit-identical to a history in which it was
+// never placed — float subtraction would instead accumulate error and
+// could drift negative on an empty machine.
+func (m *Machine) release(i int) {
+	m.Placed = append(m.Placed[:i], m.Placed[i+1:]...)
+	m.Demand = sumDemand(m.Placed)
+}
+
+// sumDemand is the left-to-right predicted-demand sum of a placement.
+func sumDemand(ps []app.Profile) float64 {
+	d := 0.0
+	for _, p := range ps {
+		d += PredictedCPUDemand(p)
+	}
+	return d
 }
 
 // Fleet is a set of machines plus the admission-control knobs.
@@ -80,17 +112,55 @@ type Fleet struct {
 // New builds a fleet of n identical machines with the given core count
 // (<= 0 selects DefaultMachineCores).
 func New(n int, cores float64) *Fleet {
-	if n < 1 {
-		n = 1
-	}
 	if cores <= 0 {
 		cores = DefaultMachineCores
 	}
+	return NewHetero(n, []float64{cores})
+}
+
+// NewHetero builds a fleet of n machines whose core counts cycle
+// through the given classes (machine i gets classes[i % len]); an empty
+// class list selects DefaultMachineCores for every machine. This is the
+// heterogeneous-fleet constructor: a class list like {8, 4} models a
+// fleet of alternating big and small servers.
+func NewHetero(n int, classes []float64) *Fleet {
+	if n < 1 {
+		n = 1
+	}
+	if len(classes) == 0 {
+		classes = []float64{DefaultMachineCores}
+	}
 	f := &Fleet{Machines: make([]*Machine, n), Overcommit: DefaultOvercommit}
 	for i := range f.Machines {
-		f.Machines[i] = &Machine{Index: i, Cores: cores}
+		f.Machines[i] = &Machine{Index: i, Cores: classes[i%len(classes)]}
 	}
 	return f
+}
+
+// ParseCoreClasses parses a comma-separated core-class list ("8,4,16")
+// into per-machine core counts for NewHetero. Empty input is valid and
+// means "every machine gets DefaultMachineCores".
+func ParseCoreClasses(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: core classes %q: entry %d is not a number (want e.g. \"8,4\")", s, i+1)
+		}
+		// Core counts below 1 are rejected, not just non-positives: the
+		// assembly layer rounds a machine's class to whole cluster cores,
+		// and a fraction rounding to 0 would silently execute as the
+		// 8-core default while placement believes the machine is tiny.
+		if v < 1 {
+			return nil, fmt.Errorf("fleet: core classes %q: entry %d must be a core count >= 1, got %g", s, i+1, v)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Admit runs the admission loop: each request in turn is offered to the
@@ -100,19 +170,26 @@ func New(n int, cores float64) *Fleet {
 // same placement.
 func (f *Fleet) Admit(reqs []app.Profile, p Placement) {
 	for i, req := range reqs {
-		d := PredictedCPUDemand(req)
-		feasible := f.feasible(d)
-		if len(feasible) == 0 {
+		if f.placeOne(req, p) < 0 {
 			f.Rejected = append(f.Rejected, i)
-			continue
 		}
-		pick := p.Pick(feasible, req)
-		if pick < 0 || pick >= len(feasible) {
-			f.Rejected = append(f.Rejected, i)
-			continue
-		}
-		feasible[pick].place(req)
 	}
+}
+
+// placeOne offers one request to the policy over the feasible machines
+// and records the placement, returning the chosen machine's fleet index
+// or -1 when no machine can (or the policy will) hold it.
+func (f *Fleet) placeOne(req app.Profile, p Placement) int {
+	feasible := f.feasible(PredictedCPUDemand(req))
+	if len(feasible) == 0 {
+		return -1
+	}
+	pick := p.Pick(feasible, req)
+	if pick < 0 || pick >= len(feasible) {
+		return -1
+	}
+	feasible[pick].place(req)
+	return feasible[pick].Index
 }
 
 // feasible lists the machines that can hold one more request of demand
@@ -177,41 +254,60 @@ var heavyWeights = []int{3, 1, 1, 3, 2, 1}
 
 // RequestStream generates n instance requests for the named mix. The
 // stream is a pure function of (mix, n, seed), so fleet trials stay
-// deterministic on the parallel runner.
+// deterministic on the parallel runner. A non-positive n is an error —
+// silently clamping it to 1 (the old behaviour) made "-requests 0"
+// quietly run one request instead of failing loudly.
 func RequestStream(mix Mix, n int, seed int64) ([]app.Profile, error) {
 	if n < 1 {
-		n = 1
+		return nil, fmt.Errorf("fleet: request stream needs at least 1 request, got %d", n)
 	}
-	suite := app.Suite()
+	draw, err := profileDrawer(mix, seed)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]app.Profile, n)
+	for i := range out {
+		out[i] = draw()
+	}
+	return out, nil
+}
+
+// profileDrawer returns a deterministic profile generator for the named
+// mix — the single source of arrival randomness shared by the one-shot
+// RequestStream and the churn model's per-epoch arrivals. The fork
+// labels (and therefore the random streams) match the original
+// RequestStream implementation exactly.
+func profileDrawer(mix Mix, seed int64) (func() app.Profile, error) {
+	suite := app.Suite()
 	switch mix {
 	case MixSuite, "":
-		for i := range out {
-			out[i] = suite[i%len(suite)]
-		}
+		i := 0
+		return func() app.Profile {
+			p := suite[i%len(suite)]
+			i++
+			return p
+		}, nil
 	case MixShuffled:
 		rng := sim.NewRNG(seed).Fork("fleet/mix/shuffled")
-		for i := range out {
-			out[i] = suite[rng.Intn(len(suite))]
-		}
+		return func() app.Profile {
+			return suite[rng.Intn(len(suite))]
+		}, nil
 	case MixHeavy:
 		total := 0
 		for _, w := range heavyWeights {
 			total += w
 		}
 		rng := sim.NewRNG(seed).Fork("fleet/mix/heavy")
-		for i := range out {
+		return func() app.Profile {
 			r := rng.Intn(total)
 			for j, w := range heavyWeights {
 				if r < w {
-					out[i] = suite[j]
-					break
+					return suite[j]
 				}
 				r -= w
 			}
-		}
-	default:
-		return nil, fmt.Errorf("fleet: unknown mix %q (have %v)", mix, Mixes())
+			return suite[len(suite)-1] // unreachable: weights cover [0, total)
+		}, nil
 	}
-	return out, nil
+	return nil, fmt.Errorf("fleet: unknown mix %q (have %v)", mix, Mixes())
 }

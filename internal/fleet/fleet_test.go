@@ -50,6 +50,17 @@ func TestRequestStreamDeterministicAndSized(t *testing.T) {
 	}
 }
 
+// TestRequestStreamRejectsNonPositiveLength: the old behaviour silently
+// clamped n < 1 to one request, so "-requests 0" quietly ran a
+// single-instance fleet; it must fail loudly like an unknown mix does.
+func TestRequestStreamRejectsNonPositiveLength(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := RequestStream(MixSuite, n, 1); err == nil {
+			t.Fatalf("n = %d must error, not clamp to 1", n)
+		}
+	}
+}
+
 func TestRequestStreamSuiteCycles(t *testing.T) {
 	reqs, err := RequestStream(MixSuite, 13, 99)
 	if err != nil {
@@ -161,6 +172,69 @@ func TestBinPackPacksCompatibleProfilesTightly(t *testing.T) {
 	f.Admit([]app.Profile{re, re, re}, &BinPack{})
 	if got := len(f.Machines[0].Placed); got != 3 {
 		t.Fatalf("machine 0 got %d of 3 compatible instances; binpack must pack, not spread", got)
+	}
+}
+
+// TestBinPackTieBreakRobustToAccumulationOrder: interference cost is a
+// float sum over a machine's placed instances, so two machines holding
+// the same profiles in different orders can disagree in the last ulp
+// ((0.1+0.2)+0.3 != 0.3+(0.2+0.1)). The documented tie-break — equal
+// cost, equal demand → lower index — must still treat that as a tie.
+func TestBinPackTieBreakRobustToAccumulationOrder(t *testing.T) {
+	stk, _ := app.ByName("STK")
+	re, _ := app.ByName("RE")
+	d2, _ := app.ByName("D2")
+	im, _ := app.ByName("IM")
+	it := NewInterference()
+	it.Set("IM", "STK", 0.1)
+	it.Set("IM", "RE", 0.2)
+	it.Set("IM", "D2", 0.3)
+
+	mk := func(index int, order []app.Profile) *Machine {
+		m := &Machine{Index: index, Cores: 64}
+		for _, p := range order {
+			m.place(p)
+		}
+		return m
+	}
+	// Same multiset, opposite accumulation orders: costs differ by one
+	// ulp, demands are the same sum reordered.
+	a := mk(0, []app.Profile{stk, re, d2})
+	b := mk(1, []app.Profile{d2, re, stk})
+	costOf := func(m *Machine) float64 {
+		c := 0.0
+		for _, p := range m.Placed {
+			c += it.Score("IM", p.Name)
+		}
+		return c
+	}
+	if costOf(a) == costOf(b) {
+		t.Skip("float accumulation happens to agree on this platform; tie-break not exercised")
+	}
+	pol := &BinPack{Interference: it}
+	if got := pol.Pick([]*Machine{a, b}, im); got != 0 {
+		t.Fatalf("ulp-level cost difference broke the lower-index tie-break: picked %d", got)
+	}
+	// Order mustn't matter: with b first, b (the new lower index) wins.
+	b.Index, a.Index = 0, 1
+	if got := pol.Pick([]*Machine{b, a}, im); got != 0 {
+		t.Fatalf("tie-break must pick the first (lowest-index) machine, picked %d", got)
+	}
+}
+
+// TestBinPackPrefersFullerOnCostTie pins the documented second key:
+// among cost-tied machines, the fuller one wins even when it appears
+// later in the feasible slice.
+func TestBinPackPrefersFullerOnCostTie(t *testing.T) {
+	re, _ := app.ByName("RE")
+	d2, _ := app.ByName("D2")
+	empty := &Machine{Index: 0, Cores: 64}
+	fuller := &Machine{Index: 1, Cores: 64}
+	fuller.place(d2)
+	// No interference table: every cost is 0 — a pure tie.
+	pol := &BinPack{}
+	if got := pol.Pick([]*Machine{empty, fuller}, re); got != 1 {
+		t.Fatalf("cost tie must prefer the fuller machine, picked %d", got)
 	}
 }
 

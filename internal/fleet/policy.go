@@ -125,18 +125,34 @@ type BinPack struct {
 
 func (*BinPack) Name() string { return PolicyBinPack }
 
+// binPackEps tolerates float accumulation error in BinPack's scores:
+// interference cost and demand are both sums over a machine's placed
+// instances, so two machines holding the same multiset of profiles in
+// different placement orders (which churn migration produces routinely)
+// can disagree in the last few ulps. Exact == comparison would make the
+// documented "then lower index" tie-break accumulation-order fragile;
+// anything within the tolerance counts as the tie it morally is.
+const binPackEps = 1e-9
+
 func (p *BinPack) Pick(feasible []*Machine, req app.Profile) int {
-	best, bestCost, bestDemand := 0, -1.0, -1.0
+	best, bestCost, bestDemand := -1, 0.0, 0.0
 	for i, m := range feasible {
 		cost := 0.0
 		for _, placed := range m.Placed {
 			cost += p.Interference.Score(req.Name, placed.Name)
 		}
-		// Minimal interference first; among equals, pack the fullest
-		// machine; then the lower index.
-		if bestCost < 0 || cost < bestCost || (cost == bestCost && m.Demand > bestDemand) {
-			best, bestCost, bestDemand = i, cost, m.Demand
+		// Lexicographic (cost, -demand, index) with tolerance: minimal
+		// interference first; among equal costs, pack the fullest
+		// machine; remaining ties keep the first (lowest-index) winner.
+		switch {
+		case best < 0 || cost < bestCost-binPackEps:
+			// Strictly lower interference.
+		case cost <= bestCost+binPackEps && m.Demand > bestDemand+binPackEps:
+			// Tied interference, strictly fuller machine.
+		default:
+			continue
 		}
+		best, bestCost, bestDemand = i, cost, m.Demand
 	}
 	return best
 }

@@ -57,6 +57,39 @@ func (g *RNG) Exponential(mean float64) float64 {
 	return g.r.ExpFloat64() * mean
 }
 
+// Poisson returns a Poisson sample with the given mean (Knuth's
+// product-of-uniforms method — exact, and plenty fast for the per-epoch
+// arrival counts the churn model draws). Non-positive means yield 0.
+// Large means are split into chunks (Poisson(a+b) = Poisson(a) +
+// Poisson(b) for independent draws): exp(-mean) underflows to exactly 0
+// near mean ≈ 745, which would otherwise make the loop terminate only
+// on uniform-product underflow and silently cap every sample there.
+func (g *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	const chunk = 500
+	k := 0
+	for ; mean > chunk; mean -= chunk {
+		k += g.poissonKnuth(chunk)
+	}
+	return k + g.poissonKnuth(mean)
+}
+
+// poissonKnuth draws one Poisson sample for a mean small enough that
+// exp(-mean) is comfortably above the float64 underflow threshold.
+func (g *RNG) poissonKnuth(mean float64) int {
+	limit := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
 // Jitter returns d scaled by a lognormal factor with spread sigma.
 func (g *RNG) Jitter(d Duration, sigma float64) Duration {
 	return DurationOfSeconds(g.LogNormalAround(float64(d)/1e9, sigma))

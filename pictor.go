@@ -87,6 +87,11 @@ type (
 	FleetResult = core.FleetResult
 	// MachineResult is one fleet machine's outcome.
 	MachineResult = core.MachineResult
+	// ChurnResult is one epoch-based fleet-churn outcome (Poisson
+	// arrivals, exponential sessions, optional RTT-driven migration).
+	ChurnResult = core.ChurnResult
+	// EpochResult is one churn epoch's fleet-wide outcome.
+	EpochResult = core.EpochResult
 )
 
 // Placement-policy names for FleetShape.Policy.
@@ -287,6 +292,32 @@ func FleetComparisonTable(rs []FleetResult) string {
 // FleetTrialOf is a multi-server trial with the given shape, for
 // caller-assembled grids via RunTrials.
 func FleetTrialOf(shape FleetShape) Trial { return exp.FleetTrial(shape) }
+
+// RunFleetChurn drives a fleet shape through its churn horizon: a
+// deterministic Poisson arrival process with exponential session
+// lengths, per-epoch execution of every machine, and (when
+// shape.Migrate is set) a migration controller that re-places sessions
+// off machines whose measured mean RTT violates the QoS ceiling.
+// Requires shape.Epochs >= 1 plus positive ArrivalRate and
+// MeanSessionEpochs.
+func RunFleetChurn(shape FleetShape, cfg ExperimentConfig) ChurnResult {
+	return core.RunFleetChurn(shape, cfg)
+}
+
+// RunChurnComparison runs the shape's churn twice as one batch — static
+// placement and with the migration controller — over the identical
+// tenant population, returning {static, migrated}.
+func RunChurnComparison(shape FleetShape, cfg ExperimentConfig) []ChurnResult {
+	return core.RunChurnComparison(shape, cfg)
+}
+
+// ChurnTable renders one churn outcome as per-epoch rows (lifecycle,
+// QoS, interactivity, power).
+func ChurnTable(r ChurnResult) string { return core.ChurnTable(r) }
+
+// ChurnComparisonTable renders churn outcomes side by side (static vs
+// migrate).
+func ChurnComparisonTable(rs []ChurnResult) string { return core.ChurnComparisonTable(rs) }
 
 // RunOptimization reproduces Figure 22 for one benchmark.
 func RunOptimization(prof Profile, cfg ExperimentConfig) OptimizationResult {

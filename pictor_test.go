@@ -178,3 +178,42 @@ func TestPublicFleetExperiment(t *testing.T) {
 		t.Fatalf("want 4 policies, got %v", pictor.FleetPolicyNames())
 	}
 }
+
+func TestPublicChurnExperiment(t *testing.T) {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	shape := pictor.FleetShape{
+		Machines:          2,
+		Policy:            pictor.PolicyLeastCount,
+		Mix:               pictor.MixHeavy,
+		CoreClasses:       "8,4",
+		Epochs:            3,
+		ArrivalRate:       2,
+		MeanSessionEpochs: 2,
+		Migrate:           true,
+	}
+	r := pictor.RunFleetChurn(shape, cfg)
+	if len(r.Epochs) != 3 {
+		t.Fatalf("got %d epoch rows, want 3", len(r.Epochs))
+	}
+	if r.MeanPowerWatts <= 0 {
+		t.Fatalf("churn rollups missing: %+v", r)
+	}
+	rs := pictor.RunChurnComparison(shape, cfg)
+	if len(rs) != 2 || rs[0].Migrate || !rs[1].Migrate {
+		t.Fatalf("comparison must return {static, migrated}, got %+v", rs)
+	}
+	if rs[0].Arrivals != rs[1].Arrivals {
+		t.Fatal("static and migrated runs must churn the identical tenant population")
+	}
+	for _, table := range []string{pictor.ChurnTable(r), pictor.ChurnComparisonTable(rs)} {
+		if len(table) == 0 {
+			t.Fatal("churn tables must render")
+		}
+	}
+	// A churn-shaped trial runs through the generic trial runner too.
+	out := pictor.RunTrials([]pictor.Trial{pictor.FleetTrialOf(shape)}, cfg)
+	if out[0][0].Churn == nil {
+		t.Fatal("churn trial result missing Churn payload")
+	}
+}
