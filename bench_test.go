@@ -47,7 +47,7 @@ func BenchmarkFig06RTTDistributions(b *testing.B) {
 	cfg.Seconds = 30
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig06", "RTT distributions: Human / IC / DeskBench / Chen / Slow-Motion")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := core.RunMethodologyComparison(prof, cfg)
 			if show {
 				for _, r := range rs {
@@ -66,12 +66,12 @@ func BenchmarkTab03MeanRTTError(b *testing.B) {
 		show := printHeader("Tab03", "Mean-RTT percentage error vs human")
 		var rows [][]string
 		avg := map[string]float64{}
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := core.RunMethodologyComparison(prof, cfg)
 			row := []string{prof.Name}
 			for _, r := range rs[1:] { // skip the human reference row
 				row = append(row, fmt.Sprintf("%.1f%%", r.ErrVsHuman))
-				avg[r.Method] += r.ErrVsHuman / float64(len(app.Suite()))
+				avg[r.Method] += r.ErrVsHuman / float64(len(app.PaperSuite()))
 			}
 			rows = append(rows, row)
 		}
@@ -88,7 +88,7 @@ func BenchmarkFig07InferenceTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig07", "Intelligent client CV (CNN) and input-generation (RNN) time")
 		var cvAll, rnnAll stats.Sample
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			models, _, _ := core.TrainedModels(prof)
 			cl := core.NewCluster(core.Options{Seed: cfg.Seed})
 			cl.AddInstance(core.NewInstanceConfig(prof, core.ICDriver(models)))
@@ -112,10 +112,10 @@ func BenchmarkTab05FrameworkOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Tab05", "Analysis-framework overhead (FPS loss vs native; double vs single query buffers)")
 		var sum, sumSB float64
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			r := core.RunOverhead(prof, cfg)
-			sum += r.OverheadPct / float64(len(app.Suite()))
-			sumSB += r.OverheadSBPct / float64(len(app.Suite()))
+			sum += r.OverheadPct / float64(len(app.PaperSuite()))
+			sumSB += r.OverheadSBPct / float64(len(app.PaperSuite()))
 			if show {
 				fmt.Printf("%-4s native %5.1f fps  traced %5.1f (%+.1f%%)  single-buffered %5.1f (%+.1f%%)\n",
 					r.Benchmark, r.FPSNoTrace, r.FPSTraced, r.OverheadPct, r.FPSTracedSB, r.OverheadSBPct)
@@ -131,7 +131,7 @@ func BenchmarkFig08Utilization(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig08", "CPU and GPU utilization per benchmark (single instance)")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 			if show {
 				fmt.Printf("%-4s app CPU %5.0f%%  VNC CPU %5.0f%%  GPU %4.1f%%  mem %4.0fMB  gpuMem %3.0fMB\n",
@@ -145,7 +145,7 @@ func BenchmarkFig09Bandwidth(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig09", "Network and PCIe bandwidth per benchmark (single instance)")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 			if show {
 				fmt.Printf("%-4s net %4.0f Mbps down / %4.1f up   PCIe %6.1f MB/s from-GPU / %6.1f to-GPU\n",
@@ -170,7 +170,7 @@ func BenchmarkFig10FPS(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig10", "Server and client FPS, 1–4 instances")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := sweep(prof, cfg)
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -187,7 +187,7 @@ func BenchmarkFig11RTTBreakdown(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig11", "RTT breakdown (input net / server / frame net), 1–4 instances")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := sweep(prof, cfg)
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -205,7 +205,7 @@ func BenchmarkFig12ServerBreakdown(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig12", "Server-time breakdown (PS / app / AS / CP), 1–4 instances")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := sweep(prof, cfg)
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -224,7 +224,7 @@ func BenchmarkFig13AppBreakdown(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig13", "Application-time breakdown (AL / FC, with RD parallel), 1–4 instances")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := sweep(prof, cfg)
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -243,7 +243,7 @@ func BenchmarkFig14TopDown(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig14", "Top-down CPU cycle breakdown, 1–4 instances")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := sweep(prof, cfg)
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -261,7 +261,7 @@ func BenchmarkFig15L3Miss(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig15", "L3 cache miss rates, 1–4 instances")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := sweep(prof, cfg)
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -278,7 +278,7 @@ func BenchmarkFig16GPUMiss(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig16", "GPU L2 and texture cache miss rates, 1–4 instances (0AD: N/A)")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			rs := sweep(prof, cfg)
 			if show {
 				fmt.Printf("%-4s", prof.Name)
@@ -299,7 +299,7 @@ func BenchmarkFig17Power(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig17", "Per-instance power, 1–4 instances")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			_, watts := core.RunCharacterizationSweep(prof, cfg.MaxInstances, exp.DriverHuman, cfg)
 			perInst := make([]float64, len(watts))
 			for i, w := range watts {
@@ -347,7 +347,7 @@ func BenchmarkFig19Contentiousness(b *testing.B) {
 		show := printHeader("Fig19", "Dota2 degradation and cache-miss growth per co-runner")
 		d2 := app.D2()
 		solo := core.RunCharacterization(d2, 1, exp.DriverHuman, cfg)[0]
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			if prof.Name == d2.Name {
 				continue
 			}
@@ -371,11 +371,11 @@ func BenchmarkFig20ContainerOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig20", "Container FPS/RTT overheads (negative = container faster)")
 		var fpsAvg, rttAvg, rdAvg float64
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			r := core.RunContainerOverhead(prof, cfg)
-			fpsAvg += r.FPSOverheadPct / float64(len(app.Suite()))
-			rttAvg += r.RTTOverheadPct / float64(len(app.Suite()))
-			rdAvg += r.RDOverheadPct / float64(len(app.Suite()))
+			fpsAvg += r.FPSOverheadPct / float64(len(app.PaperSuite()))
+			rttAvg += r.RTTOverheadPct / float64(len(app.PaperSuite()))
+			rdAvg += r.RDOverheadPct / float64(len(app.PaperSuite()))
 			if show {
 				fmt.Printf("%-4s FPS %+5.1f%%   RTT %+5.1f%%   RD %+5.1f%%\n",
 					r.Benchmark, r.FPSOverheadPct, r.RTTOverheadPct, r.RDOverheadPct)
@@ -392,7 +392,7 @@ func BenchmarkFig21TwoStepCopyTimeline(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig21", "Two-step frame copy: FC stage time, baseline vs FCStart/FCEnd")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			r := core.RunOptimization(prof, cfg)
 			if show {
 				fmt.Printf("%-4s FC %5.1f ms → %4.1f ms (halt removed: %4.1f ms)\n",
@@ -408,11 +408,11 @@ func BenchmarkFig22Optimizations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		show := printHeader("Fig22", "Improved FPS/RTT from the two frame-copy optimizations")
 		var sGain, cGain, rttRed float64
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			r := core.RunOptimization(prof, cfg)
-			sGain += r.ServerFPSGain / float64(len(app.Suite()))
-			cGain += r.ClientFPSGain / float64(len(app.Suite()))
-			rttRed += r.RTTReduction / float64(len(app.Suite()))
+			sGain += r.ServerFPSGain / float64(len(app.PaperSuite()))
+			cGain += r.ClientFPSGain / float64(len(app.PaperSuite()))
+			rttRed += r.RTTReduction / float64(len(app.PaperSuite()))
 			if show {
 				fmt.Printf("%-4s server %+6.1f%%   client %+6.1f%%   RTT %+6.1f%%\n",
 					r.Benchmark, r.ServerFPSGain, r.ClientFPSGain, -r.RTTReduction)
@@ -449,7 +449,7 @@ func benchAblation(b *testing.B, id string, mod func(*vgl.Options)) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
 		show := printHeader(id, "server FPS gain from one optimization alone")
-		for _, prof := range app.Suite() {
+		for _, prof := range app.PaperSuite() {
 			base := runWithInterposer(prof, vgl.DefaultOptions(), cfg)
 			opts := vgl.DefaultOptions()
 			mod(&opts)
@@ -500,4 +500,50 @@ func BenchmarkSuiteGridSequential(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		core.RunSuiteGrid(cfg)
 	}
+}
+
+// BenchmarkScenarioProfiles runs one human-driven trial of every
+// extended scenario family (CAD, VV, CZ) plus a nine-profile fleet
+// consolidation — the registry path beyond the paper's six. It rides
+// the CI bench smoke (-benchtime 1x), so a new family that panics,
+// stalls or stops producing frames fails the build instead of rotting.
+func BenchmarkScenarioProfiles(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Seconds = 8
+	for i := 0; i < b.N; i++ {
+		show := printHeader("Scenarios", "extended families: CloudCAD / VoluPlay / CasualZen")
+		trials := []exp.Trial{
+			exp.Single(mustProfile(b, "CAD"), exp.DriverHuman),
+			exp.Single(mustProfile(b, "VV"), exp.DriverHuman),
+			exp.Single(mustProfile(b, "CZ"), exp.DriverHuman),
+		}
+		for ti, reps := range core.RunTrials(trials, cfg) {
+			r := reps[0].Results[0]
+			if r.ServerFPS <= 0 {
+				b.Fatalf("trial %d produced no frames", ti)
+			}
+			if show {
+				fmt.Printf("%-4s srv %5.1f fps  cli %5.1f fps  RTT %6.1f ms  mem %4.0f MB\n",
+					r.Benchmark, r.ServerFPS, r.ClientFPS, r.RTT.Mean, r.FootprintMB)
+			}
+		}
+		shape := exp.FleetShape{Machines: 3, Mix: "suite", Requests: 9, Profiles: "all"}
+		fr := core.RunFleetConsolidation(shape, cfg)
+		if fr.Placed == 0 {
+			b.Fatal("nine-profile fleet placed nothing")
+		}
+		if show {
+			fmt.Printf("fleet over all profiles: placed %d, rejected %d, QoS violations %d\n",
+				fr.Placed, fr.Rejected, fr.QoSViolations)
+		}
+	}
+}
+
+// mustProfile resolves a registered profile for the scenario bench.
+func mustProfile(b *testing.B, name string) app.Profile {
+	p, ok := app.ByName(name)
+	if !ok {
+		b.Fatalf("profile %s not registered", name)
+	}
+	return p
 }

@@ -4,8 +4,8 @@
 // Usage:
 //
 //	pictor-bench -exp fig10 [-seconds 60] [-seed 1] [-parallel 8] [-reps 3]
-//	pictor-bench -exp grid
-//	pictor-bench -exp fleet -machines 4 -policy binpack [-mix heavy] [-requests 16]
+//	pictor-bench -exp grid [-profiles STK,CAD,VV]
+//	pictor-bench -exp fleet -machines 4 -policy binpack [-mix heavy] [-requests 16] [-profiles all]
 //	pictor-bench -exp churn -machines 4 -rate 1.6 -duration 5 -epochs 10 [-migrate] [-cores 8,4]
 //	pictor-bench -exp all
 //
@@ -19,6 +19,11 @@
 // (exponential session lengths, departures) over an optionally
 // heterogeneous fleet and compares static placement against RTT-driven
 // migration.
+//
+// -profiles selects the workload set every experiment sweeps: "" keeps
+// the paper's Table-2 six, "all" selects every registered profile
+// (including the extended CAD, VV and CZ scenario families), and a
+// comma-separated name list picks a subset.
 package main
 
 import (
@@ -53,7 +58,12 @@ func main() {
 	duration := flag.Float64("duration", 5, "churn experiment: mean session length in epochs (exponential)")
 	epochs := flag.Int("epochs", 10, "churn experiment: epoch count")
 	migrate := flag.Bool("migrate", true, "churn experiment: enable the RTT-driven migration controller in the detailed run")
+	profiles := flag.String("profiles", "", fmt.Sprintf("workload set: comma-separated profile names, \"all\" for every registered profile, empty for the paper's six (registered: %s)", strings.Join(app.Names(), ",")))
 	flag.Parse()
+
+	if _, err := app.Resolve(*profiles); err != nil {
+		fatalf("-profiles: %v", err)
+	}
 
 	cfg := core.DefaultExperimentConfig()
 	cfg.Seconds = *seconds
@@ -64,6 +74,7 @@ func main() {
 	}
 	cfg.Parallel = *parallel
 	cfg.Reps = *reps
+	cfg.Profiles = *profiles
 
 	all := map[string]func(core.ExperimentConfig){
 		"tab2": tab2, "tab3": tab3, "tab4": tab4,
@@ -73,10 +84,10 @@ func main() {
 		"fig16": fig16, "fig17": fig17, "fig18": fig18, "fig19": fig19,
 		"fig20": fig20, "fig21": fig21, "fig22": fig22, "grid": grid,
 		"fleet": func(cfg core.ExperimentConfig) {
-			fleetExp(cfg, *machines, *policy, *mix, *requests, *cores)
+			fleetExp(cfg, *machines, *policy, *mix, *requests, *cores, *profiles)
 		},
 		"churn": func(cfg core.ExperimentConfig) {
-			churnExp(cfg, *machines, *policy, *mix, *cores, *rate, *duration, *epochs, *migrate)
+			churnExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate)
 		},
 	}
 	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
@@ -102,9 +113,9 @@ func main() {
 
 func banner(id string) { fmt.Printf("\n========== %s ==========\n", id) }
 
-func tab2(core.ExperimentConfig) {
+func tab2(cfg core.ExperimentConfig) {
 	var rows [][]string
-	for _, p := range app.Suite() {
+	for _, p := range suiteOf(cfg) {
 		src := "open-source"
 		if p.ClosedSource {
 			src = "closed-source"
@@ -117,7 +128,7 @@ func tab2(core.ExperimentConfig) {
 func tab4(core.ExperimentConfig) { fmt.Print(core.FeatureMatrix()) }
 
 func fig6(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		for _, r := range core.RunMethodologyComparison(prof, cfg) {
 			fmt.Printf("%-4s %-10s mean %6.1f  p1 %6.1f  p25 %6.1f  p75 %6.1f  p99 %6.1f ms\n",
 				prof.Name, r.Method, r.RTT.Mean, r.RTT.P1, r.RTT.P25, r.RTT.P75, r.RTT.P99)
@@ -128,12 +139,12 @@ func fig6(cfg core.ExperimentConfig) {
 func tab3(cfg core.ExperimentConfig) {
 	var rows [][]string
 	avg := map[string]float64{}
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		rs := core.RunMethodologyComparison(prof, cfg)
 		row := []string{prof.Name}
 		for _, r := range rs[1:] {
 			row = append(row, fmt.Sprintf("%.1f%%", r.ErrVsHuman))
-			avg[r.Method] += r.ErrVsHuman / float64(len(app.Suite()))
+			avg[r.Method] += r.ErrVsHuman / float64(len(suiteOf(cfg)))
 		}
 		rows = append(rows, row)
 	}
@@ -143,7 +154,7 @@ func tab3(cfg core.ExperimentConfig) {
 }
 
 func fig7(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		models, _, _ := core.TrainedModels(prof)
 		cl := core.NewCluster(core.Options{Seed: cfg.Seed})
 		cl.AddInstance(core.NewInstanceConfig(prof, core.ICDriver(models)))
@@ -155,7 +166,7 @@ func fig7(cfg core.ExperimentConfig) {
 }
 
 func overhead(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		r := core.RunOverhead(prof, cfg)
 		fmt.Printf("%-4s native %5.1f fps  traced %5.1f (%+.1f%%)  single-buffered %5.1f (%+.1f%%)\n",
 			r.Benchmark, r.FPSNoTrace, r.FPSTraced, r.OverheadPct, r.FPSTracedSB, r.OverheadSBPct)
@@ -163,7 +174,7 @@ func overhead(cfg core.ExperimentConfig) {
 }
 
 func fig8(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 		fmt.Printf("%-4s app CPU %5.0f%%  VNC CPU %5.0f%%  GPU %4.1f%%  mem %4.0fMB  gpuMem %3.0fMB\n",
 			r.Benchmark, r.AppCPUUtil, r.VNCCPUUtil, r.GPUUtil, r.FootprintMB, r.GPUMemoryMB)
@@ -171,7 +182,7 @@ func fig8(cfg core.ExperimentConfig) {
 }
 
 func fig9(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		r := core.RunCharacterization(prof, 1, exp.DriverHuman, cfg)[0]
 		fmt.Printf("%-4s net %4.0f Mbps down / %4.1f up   PCIe %6.1f MB/s from-GPU / %6.1f to-GPU\n",
 			r.Benchmark, r.NetDownMbps, r.NetUpMbps, r.PCIeFromGPU, r.PCIeToGPU)
@@ -179,7 +190,7 @@ func fig9(cfg core.ExperimentConfig) {
 }
 
 func sweepPrint(cfg core.ExperimentConfig, format func(r core.InstanceResult) string) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		fmt.Printf("%-4s", prof.Name)
 		rs, _ := core.RunCharacterizationSweep(prof, cfg.MaxInstances, exp.DriverHuman, cfg)
 		for n, r := range rs {
@@ -239,7 +250,7 @@ func fig16(cfg core.ExperimentConfig) {
 }
 
 func fig17(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		fmt.Printf("%-4s", prof.Name)
 		var first float64
 		_, watts := core.RunCharacterizationSweep(prof, cfg.MaxInstances, exp.DriverHuman, cfg)
@@ -256,7 +267,8 @@ func fig17(cfg core.ExperimentConfig) {
 
 func fig18(cfg core.ExperimentConfig) {
 	ok := 0
-	for _, pair := range core.SortedPairNames() {
+	pairs := core.SortedPairNamesOf(suiteOf(cfg))
+	for _, pair := range pairs {
 		a, _ := app.ByName(pair[0])
 		b, _ := app.ByName(pair[1])
 		ra, rb := core.RunPair(a, b, cfg)
@@ -265,13 +277,13 @@ func fig18(cfg core.ExperimentConfig) {
 		}
 		fmt.Printf("%-4s+%-4s  %5.1f / %5.1f fps\n", pair[0], pair[1], ra.ClientFPS, rb.ClientFPS)
 	}
-	fmt.Printf("%d of 15 pairs ≥ 25 fps for both (paper: 11 of 15)\n", ok)
+	fmt.Printf("%d of %d pairs ≥ 25 fps for both (paper: 11 of 15)\n", ok, len(pairs))
 }
 
 func fig19(cfg core.ExperimentConfig) {
 	d2 := app.D2()
 	solo := core.RunCharacterization(d2, 1, exp.DriverHuman, cfg)[0]
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		if prof.Name == d2.Name {
 			continue
 		}
@@ -285,7 +297,7 @@ func fig19(cfg core.ExperimentConfig) {
 }
 
 func fig20(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		r := core.RunContainerOverhead(prof, cfg)
 		fmt.Printf("%-4s FPS %+5.1f%%   RTT %+5.1f%%   RD %+5.1f%%\n",
 			r.Benchmark, r.FPSOverheadPct, r.RTTOverheadPct, r.RDOverheadPct)
@@ -293,7 +305,7 @@ func fig20(cfg core.ExperimentConfig) {
 }
 
 func fig21(cfg core.ExperimentConfig) {
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		r := core.RunOptimization(prof, cfg)
 		fmt.Printf("%-4s FC %5.1f ms → %4.1f ms (halt removed: %4.1f ms)\n",
 			r.Benchmark, r.BaseFCMs, r.OptFCMs, r.BaseFCMs-r.OptFCMs)
@@ -302,11 +314,11 @@ func fig21(cfg core.ExperimentConfig) {
 
 func fig22(cfg core.ExperimentConfig) {
 	var sGain, cGain, rttRed float64
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		r := core.RunOptimization(prof, cfg)
-		sGain += r.ServerFPSGain / float64(len(app.Suite()))
-		cGain += r.ClientFPSGain / float64(len(app.Suite()))
-		rttRed += r.RTTReduction / float64(len(app.Suite()))
+		sGain += r.ServerFPSGain / float64(len(suiteOf(cfg)))
+		cGain += r.ClientFPSGain / float64(len(suiteOf(cfg)))
+		rttRed += r.RTTReduction / float64(len(suiteOf(cfg)))
 		fmt.Printf("%-4s server %+6.1f%%   client %+6.1f%%   RTT %+6.1f%%\n",
 			r.Benchmark, r.ServerFPSGain, r.ClientFPSGain, -r.RTTReduction)
 	}
@@ -325,7 +337,7 @@ func grid(cfg core.ExperimentConfig) {
 	elapsed := time.Since(start)
 
 	fmt.Printf("\nmethodology (mean-RTT error vs human):\n")
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		rows := g.Methodology[prof.Name]
 		fmt.Printf("  %-4s", prof.Name)
 		for _, r := range rows[1:] {
@@ -335,7 +347,7 @@ func grid(cfg core.ExperimentConfig) {
 	}
 
 	fmt.Printf("\ncharacterization (client FPS by co-location count):\n")
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		fmt.Printf("  %-4s", prof.Name)
 		for n, rs := range g.Characterization[prof.Name] {
 			fmt.Printf("  [%d] %5.1f", n+1, rs[0].ClientFPS)
@@ -353,7 +365,7 @@ func grid(cfg core.ExperimentConfig) {
 	fmt.Printf("\npairs: %d of %d meet 25-FPS QoS for both\n", okPairs, len(g.Pairs))
 
 	fmt.Printf("\nper-benchmark rollups:\n")
-	for _, prof := range app.Suite() {
+	for _, prof := range suiteOf(cfg) {
 		c := g.Container[prof.Name]
 		o := g.Optimization[prof.Name]
 		v := g.Overhead[prof.Name]
@@ -368,6 +380,16 @@ func grid(cfg core.ExperimentConfig) {
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(2)
+}
+
+// suiteOf resolves the validated -profiles selection (main exits on an
+// invalid spec before any experiment runs).
+func suiteOf(cfg core.ExperimentConfig) []app.Profile {
+	ps, err := app.Resolve(cfg.Profiles)
+	if err != nil {
+		fatalf("-profiles: %v", err)
+	}
+	return ps
 }
 
 // validateFleetFlags checks the flag vocabulary shared by the fleet and
@@ -396,11 +418,24 @@ func coreDesc(cores string) string {
 	return fmt.Sprintf("%d cores", fleet.DefaultMachineCores)
 }
 
+// profilesDesc describes a workload selection for banners.
+func profilesDesc(profiles string) string {
+	switch strings.ToLower(strings.TrimSpace(profiles)) {
+	case "":
+		return "the paper suite"
+	case "all":
+		return fmt.Sprintf("all %d registered profiles", len(app.Names()))
+	}
+	return "profiles " + profiles
+}
+
 // fleetExp consolidates an instance-request stream across a
 // multi-machine fleet: a detailed per-machine breakdown under the
 // selected policy, then the same shape under every placement policy as
-// one batch on the parallel runner.
-func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, requests int, cores string) {
+// one batch on the parallel runner. The -profiles selection picks the
+// workload set the arrival mix draws from (e.g. "all" sweeps every
+// registered scenario family through the fleet).
+func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, requests int, cores, profiles string) {
 	validateFleetFlags(machines, policy, mix, cores)
 	if requests < 0 {
 		fatalf("-requests must be >= 1 (or 0 for the 3-per-machine default), got %d", requests)
@@ -408,10 +443,10 @@ func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, reque
 	if requests == 0 {
 		requests = 3 * machines
 	}
-	shape := exp.FleetShape{Machines: machines, Policy: policy, Mix: mix, Requests: requests, CoreClasses: cores}
+	shape := exp.FleetShape{Machines: machines, Policy: policy, Mix: mix, Requests: requests, CoreClasses: cores, Profiles: profiles}
 
-	fmt.Printf("fleet: %d machines × %s, %d requests (%s mix), %d workers, %d rep(s)\n\n",
-		machines, coreDesc(cores), requests, mix,
+	fmt.Printf("fleet: %d machines × %s, %d requests (%s mix over %s), %d workers, %d rep(s)\n\n",
+		machines, coreDesc(cores), requests, mix, profilesDesc(profiles),
 		exp.EffectiveParallel(cfg.Parallel), exp.EffectiveReps(cfg.Reps))
 
 	r := core.RunFleetConsolidation(shape, cfg)
@@ -446,7 +481,7 @@ func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, reque
 // the detailed per-epoch table for the selected migration setting, then
 // the static-vs-migrate comparison over the identical tenant
 // population.
-func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores string, rate, duration float64, epochs int, migrate bool) {
+func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool) {
 	validateFleetFlags(machines, policy, mix, cores)
 	if err := fleet.ValidateChurnParams(rate, duration, epochs); err != nil {
 		fatalf("-rate/-duration/-epochs: %v", err)
@@ -456,6 +491,7 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores string
 		Policy:            policy,
 		Mix:               mix,
 		CoreClasses:       cores,
+		Profiles:          profiles,
 		Epochs:            epochs,
 		ArrivalRate:       rate,
 		MeanSessionEpochs: duration,
@@ -466,8 +502,8 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores string
 	if migrate {
 		mode = "RTT-driven migration"
 	}
-	fmt.Printf("churn: %d machines × %s, %s policy, %s mix, rate %g/epoch, mean session %g epochs, %d epochs, %s\n\n",
-		machines, coreDesc(cores), policy, mix, rate, duration, epochs, mode)
+	fmt.Printf("churn: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, %s\n\n",
+		machines, coreDesc(cores), policy, mix, profilesDesc(profiles), rate, duration, epochs, mode)
 
 	// One comparison batch covers both displays: the detailed per-epoch
 	// view picks the -migrate side out of it (re-running RunFleetChurn

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pictor/internal/app"
 	"pictor/internal/container"
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark to run (STK, 0AD, RE, D2, IM, ITP); empty = whole suite")
+	bench := flag.String("bench", "", fmt.Sprintf("benchmark to run (%s); empty = every registered profile", strings.Join(app.Names(), ", ")))
 	n := flag.Int("n", 1, "co-located instances of the benchmark")
 	seconds := flag.Float64("seconds", 60, "measured session length (simulated seconds)")
 	optimized := flag.Bool("optimized", false, "enable the §6 frame-copy optimizations")
@@ -34,7 +35,7 @@ func main() {
 	if *bench != "" {
 		p, ok := app.ByName(*bench)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (registered: %s)\n", *bench, strings.Join(app.Names(), ", "))
 			os.Exit(2)
 		}
 		profiles = []app.Profile{p}

@@ -32,8 +32,13 @@ type Models struct {
 
 // FeatureSize is the LSTM input width: per-type object counts plus a
 // bias term. Following §3.1, the features are the objects recognized in
-// the frame; the labels are the corresponding human actions.
-const FeatureSize = int(scene.NumTypes) + 1
+// the frame; the labels are the corresponding human actions. The
+// vocabulary is pinned to the core (Table-2) types: like the paper's
+// fixed-class MobileNets, the CNN meets extended entity kinds (Cloth,
+// PointCloud) as novel content and recognizes them as the nearest core
+// class — sizing the networks by the open-ended full vocabulary would
+// reshape every trained model whenever a scenario family is added.
+const FeatureSize = int(scene.NumCoreTypes) + 1
 
 // lstmHidden is the LSTM width.
 const lstmHidden = 14
@@ -53,7 +58,7 @@ func NewModels(seed int64) *Models {
 		conv,
 		&nn.ReLU{},
 		pool,
-		nn.NewDense(pool.OutLen(), int(scene.NumTypes), rng),
+		nn.NewDense(pool.OutLen(), int(scene.NumCoreTypes), rng),
 	}}
 	return m
 }
@@ -101,7 +106,7 @@ func featuresInto(f []float64, detected []scene.Type) []float64 {
 		f[i] = 0
 	}
 	for _, t := range detected {
-		if t != scene.Empty && int(t) < int(scene.NumTypes) {
+		if t != scene.Empty && int(t) < int(scene.NumCoreTypes) {
 			f[t] += 1.0 / float64(len(detected)) * 4 // scaled count
 		}
 	}
@@ -180,10 +185,16 @@ func (m *Models) trainCNN(rec *Recording, cfg TrainConfig, rng *rand.Rand) {
 	for _, s := range rec.Samples {
 		for gy := 0; gy < scene.GridH; gy++ {
 			for gx := 0; gx < scene.GridW; gx++ {
+				label := int(s.Cells[gy*scene.GridW+gx].T)
+				// Extended kinds sit outside the CNN's fixed class
+				// vocabulary; their patches carry no usable label.
+				if label >= int(scene.NumCoreTypes) {
+					continue
+				}
 				patch(s.Pixels, gx, gy, buf)
 				px := make([]float64, len(buf))
 				copy(px, buf)
-				pool = append(pool, example{px: px, label: int(s.Cells[gy*scene.GridW+gx].T)})
+				pool = append(pool, example{px: px, label: label})
 			}
 		}
 	}

@@ -67,6 +67,34 @@ func PolicyAction(p app.Profile, cells []scene.Cell, rng *sim.RNG) scene.Action 
 		default:
 			return scene.ActForward
 		}
+	case "CAD Viewer":
+		// Orbit the model, open property panels, otherwise pan.
+		switch {
+		case count[scene.PointCloud] > 0:
+			return scene.ActCamera
+		case count[scene.Panel] > 0:
+			return scene.ActSecondary
+		default:
+			return scene.ActForward
+		}
+	case "Volumetric Video":
+		// Playback is mostly viewpoint motion; interact with markers.
+		switch {
+		case count[scene.Target] > 0:
+			return scene.ActPrimary
+		default:
+			return scene.ActCamera
+		}
+	case "Casual 2D/UI":
+		// Tap what is offered, open menus, otherwise scroll.
+		switch {
+		case count[scene.Item] > 0:
+			return scene.ActPrimary
+		case count[scene.Panel] > 2:
+			return scene.ActSecondary
+		default:
+			return scene.ActCamera
+		}
 	default:
 		// VR titles: look around, interact with highlighted targets.
 		switch {

@@ -139,12 +139,13 @@ func (a *App) drainInputs() (tags []uint64, act scene.Action) {
 
 // alWork prices one application-logic pass. The coupling says how much
 // of the logic cost tracks scene complexity (an RTS simulating armies
-// is far more scene-bound than a racer's fixed physics loop).
+// is far more scene-bound than a racer's fixed physics loop). The
+// profile's value is honored as-is: Register stamps the documented
+// 0.25 default onto unset profiles, so there is no hidden runtime
+// coercion — an explicitly tiny (or zero, for hand-built profiles)
+// coupling really runs that way.
 func (a *App) alWork(nInputs int) sim.Duration {
 	c := a.prof.ALComplexityCoupling
-	if c <= 0 {
-		c = 0.25
-	}
 	ms := a.prof.ALBaseMs*((1-c)+c*a.sc.Complexity()) + a.prof.ALPerInputMs*float64(nInputs)
 	d := sim.DurationOfSeconds(ms / 1e3)
 	return a.rng.Jitter(d, a.prof.ALJitter) + a.tracer.HookCost()

@@ -1,0 +1,188 @@
+package app
+
+import (
+	"fmt"
+	"strings"
+
+	"pictor/internal/scene"
+)
+
+// The profile registry. The paper's suite is fixed at six applications
+// (Table 2); the registry turns "add a workload" from a refactor into a
+// registration: a new scenario family is one calibrated Profile plus a
+// Register call, and every experiment entry point, arrival mix and
+// placement policy picks it up through Suite/ByName/Resolve.
+//
+// Registration happens at init time (the built-in families below) or
+// before any experiment runs; the registry is not safe for concurrent
+// mutation, matching the package's init-then-read usage.
+
+var (
+	// regNames holds the registered short keys in registration order —
+	// the stable iteration order Suite() and Names() expose.
+	regNames []string
+	// regByName is the lookup table behind ByName (a map lookup, not a
+	// rebuild of the whole suite per call).
+	regByName = map[string]Profile{}
+)
+
+// DefaultALComplexityCoupling is the documented ALComplexityCoupling
+// default, stamped at registration so the stored profile carries the
+// value every consumer sees (the runtime no longer coerces silently).
+const DefaultALComplexityCoupling = 0.25
+
+// normalize makes the documented field defaults explicit on the stored
+// profile: a zero ALComplexityCoupling becomes the 0.25 default and a
+// zero HeavyWeight becomes weight 1, so demand models, serializers and
+// the pipeline all read the same numbers. A profile that genuinely
+// wants "no coupling" registers a negligible positive value.
+func normalize(p Profile) Profile {
+	if p.ALComplexityCoupling == 0 {
+		p.ALComplexityCoupling = DefaultALComplexityCoupling
+	}
+	if p.HeavyWeight == 0 {
+		p.HeavyWeight = 1
+	}
+	return p
+}
+
+// Register adds a profile to the registry. It panics on an invalid or
+// duplicate registration: profiles register at init time, where a loud
+// failure beats a miscalibrated benchmark silently joining every sweep.
+func Register(p Profile) {
+	if p.Name == "" {
+		panic("app: Register needs a non-empty short Name")
+	}
+	// Names are CLI and trial-key vocabulary: "," separates -profiles
+	// lists, and "|", ":", "=" delimit Trial.Key() / stream-key fields —
+	// a name containing them could make two distinct trials serialize
+	// to colliding keys (and therefore share seeds and dedupe).
+	if strings.EqualFold(p.Name, "all") || strings.ContainsAny(p.Name, ", \t|:=") {
+		panic(fmt.Sprintf("app: profile name %q is reserved or contains separator characters (names are CLI/key vocabulary)", p.Name))
+	}
+	if _, dup := regByName[p.Name]; dup {
+		panic(fmt.Sprintf("app: profile %q registered twice", p.Name))
+	}
+	if p.Width <= 0 || p.Height <= 0 {
+		panic(fmt.Sprintf("app: profile %q needs positive display dimensions", p.Name))
+	}
+	if p.ALBaseMs <= 0 || p.GPU.BaseRenderMs <= 0 {
+		panic(fmt.Sprintf("app: profile %q has implausible timing (ALBaseMs and GPU.BaseRenderMs must be > 0)", p.Name))
+	}
+	if p.Codec.BaseRatio <= 1 {
+		panic(fmt.Sprintf("app: profile %q codec must compress (BaseRatio > 1)", p.Name))
+	}
+	if len(p.Dynamics.Kinds) == 0 {
+		panic(fmt.Sprintf("app: profile %q has no scene object kinds", p.Name))
+	}
+	if p.HeavyWeight < 0 {
+		panic(fmt.Sprintf("app: profile %q HeavyWeight must be >= 0 (0 defaults to 1)", p.Name))
+	}
+	p = normalize(p)
+	// Detach the Kinds slice so later mutation of the caller's value
+	// cannot reach the registry.
+	p.Dynamics.Kinds = append([]scene.Type(nil), p.Dynamics.Kinds...)
+	regByName[p.Name] = p
+	regNames = append(regNames, p.Name)
+}
+
+// cloneProfile hands out a value whose slice fields are detached from
+// the registry's copy.
+func cloneProfile(p Profile) Profile {
+	p.Dynamics.Kinds = append([]scene.Type(nil), p.Dynamics.Kinds...)
+	return p
+}
+
+// Names lists every registered profile's short key in registration
+// order (the paper's six first, then the extended families).
+func Names() []string { return append([]string(nil), regNames...) }
+
+// ByName finds a registered profile by its short key via the registry
+// map (it used to rebuild the entire suite per call).
+func ByName(name string) (Profile, bool) {
+	p, ok := regByName[name]
+	if !ok {
+		return Profile{}, false
+	}
+	return cloneProfile(p), true
+}
+
+// Suite returns every registered profile in stable registration order.
+// The paper's original six come first; see PaperSuite for exactly them.
+func Suite() []Profile {
+	out := make([]Profile, len(regNames))
+	for i, n := range regNames {
+		out[i] = cloneProfile(regByName[n])
+	}
+	return out
+}
+
+// paperNames are the Table-2 suite keys in paper order.
+var paperNames = []string{"STK", "0AD", "RE", "D2", "IM", "ITP"}
+
+// PaperNames lists the paper's six benchmark keys in Table-2 order.
+func PaperNames() []string { return append([]string(nil), paperNames...) }
+
+// PaperSuite returns the paper's six-benchmark suite (Table 2) in paper
+// order: SuperTuxKart, 0 A.D., Red Eclipse, Dota2, InMind, IMHOTEP. It
+// is the default workload set of every experiment entry point, so
+// pre-registry keys, seeds and fixtures stay byte-identical.
+func PaperSuite() []Profile {
+	out := make([]Profile, len(paperNames))
+	for i, n := range paperNames {
+		p, ok := ByName(n)
+		if !ok {
+			panic("app: paper suite profile " + n + " not registered")
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Resolve turns a profile-subset spec into concrete profiles: "" means
+// the paper's six (the historical default), "all" means every
+// registered profile, anything else is a comma-separated list of
+// registered short keys ("STK,CAD,VV"). Unknown or duplicate names
+// error with the registered vocabulary.
+func Resolve(spec string) ([]Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "":
+		return PaperSuite(), nil
+	case "all":
+		return Suite(), nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]Profile, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, raw := range parts {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			return nil, fmt.Errorf("app: profile spec %q has an empty entry", spec)
+		}
+		p, ok := ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("app: unknown profile %q (registered: %s; or \"all\")",
+				name, strings.Join(regNames, ","))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("app: profile %q listed twice in %q", name, spec)
+		}
+		seen[name] = true
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// The built-in families register at init: the paper's Table-2 six in
+// paper order, then the extended scenario families.
+func init() {
+	Register(STK())
+	Register(ZeroAD())
+	Register(RE())
+	Register(D2())
+	Register(IM())
+	Register(ITP())
+	Register(CAD())
+	Register(VV())
+	Register(CZ())
+}

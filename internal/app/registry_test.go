@@ -1,0 +1,187 @@
+package app
+
+import (
+	"strings"
+	"testing"
+
+	"pictor/internal/scene"
+)
+
+// TestProfileSanity is the table-driven calibration gate: every
+// registered profile — present and future — must satisfy the invariants
+// the simulation relies on, so a miscalibrated registration fails fast
+// instead of producing quietly absurd measurements.
+func TestProfileSanity(t *testing.T) {
+	suite := Suite()
+	if len(suite) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, p := range suite {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			probs := []struct {
+				name string
+				v    float64
+			}{
+				{"Dynamics.SpawnProb", p.Dynamics.SpawnProb},
+				{"Dynamics.DespawnProb", p.Dynamics.DespawnProb},
+				{"Dynamics.MoveProb", p.Dynamics.MoveProb},
+				{"HumanActProb", p.HumanActProb},
+			}
+			for _, pr := range probs {
+				if pr.v < 0 || pr.v > 1 {
+					t.Errorf("%s = %v outside [0,1]", pr.name, pr.v)
+				}
+			}
+			positives := []struct {
+				name string
+				v    float64
+			}{
+				{"Width", float64(p.Width)},
+				{"Height", float64(p.Height)},
+				{"ALBaseMs", p.ALBaseMs},
+				{"GPU.BaseRenderMs", p.GPU.BaseRenderMs},
+				{"GPU.MemoryMB", p.GPU.MemoryMB},
+				{"Mem.FootprintMB", p.Mem.FootprintMB},
+				{"Mem.AccessesPerMs", p.Mem.AccessesPerMs},
+				{"VNCMem.FootprintMB", p.VNCMem.FootprintMB},
+				{"Codec.MsPerMB", p.Codec.MsPerMB},
+				{"HumanReactionMs", p.HumanReactionMs},
+				{"CVLatencyMs", p.CVLatencyMs},
+				{"RNNLatencyMs", p.RNNLatencyMs},
+			}
+			for _, ps := range positives {
+				if ps.v <= 0 {
+					t.Errorf("%s = %v, must be positive", ps.name, ps.v)
+				}
+			}
+			if p.Codec.BaseRatio <= 1 {
+				t.Errorf("Codec.BaseRatio = %v, must compress (> 1)", p.Codec.BaseRatio)
+			}
+			if p.ALComplexityCoupling <= 0 || p.ALComplexityCoupling > 1 {
+				t.Errorf("ALComplexityCoupling = %v outside (0,1] after registration", p.ALComplexityCoupling)
+			}
+			if p.HeavyWeight < 1 {
+				t.Errorf("HeavyWeight = %d, registration must default it to >= 1", p.HeavyWeight)
+			}
+			if len(p.Dynamics.Kinds) == 0 {
+				t.Error("Dynamics.Kinds is empty")
+			}
+			for _, k := range p.Dynamics.Kinds {
+				if k == scene.Empty || k >= scene.NumTypes {
+					t.Errorf("Dynamics.Kinds contains invalid type %d", k)
+				}
+			}
+			if p.Dynamics.BaseComplexity <= 0 {
+				t.Errorf("Dynamics.BaseComplexity = %v, must be positive", p.Dynamics.BaseComplexity)
+			}
+		})
+	}
+}
+
+func TestRegistryOrderAndLookup(t *testing.T) {
+	names := Names()
+	suite := Suite()
+	if len(names) != len(suite) {
+		t.Fatalf("Names (%d) and Suite (%d) disagree", len(names), len(suite))
+	}
+	for i, n := range names {
+		if suite[i].Name != n {
+			t.Fatalf("Suite[%d] = %s, Names[%d] = %s — orders must match", i, suite[i].Name, i, n)
+		}
+		p, ok := ByName(n)
+		if !ok || p.Name != n {
+			t.Fatalf("ByName(%s) failed", n)
+		}
+	}
+	// The paper's six lead the registration order.
+	for i, n := range PaperNames() {
+		if names[i] != n {
+			t.Fatalf("Names[%d] = %s, want paper profile %s first", i, names[i], n)
+		}
+	}
+}
+
+func TestRegisterRejectsBadProfiles(t *testing.T) {
+	mustPanic := func(name string, p Profile) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register accepted an invalid profile", name)
+			}
+		}()
+		Register(p)
+	}
+	valid := CZ()
+	mustPanic("duplicate", STK())
+	empty := valid
+	empty.Name = ""
+	mustPanic("empty name", empty)
+	reserved := valid
+	reserved.Name = "all"
+	mustPanic("reserved name", reserved)
+	comma := valid
+	comma.Name = "A,B"
+	mustPanic("separator in name", comma)
+	// Key-delimiter characters could make two distinct trials serialize
+	// to colliding keys.
+	for _, name := range []string{"A:B", "A=B", "A|B"} {
+		bad := valid
+		bad.Name = name
+		mustPanic("key delimiter in name "+name, bad)
+	}
+	noKinds := valid
+	noKinds.Name = "XX1"
+	noKinds.Dynamics.Kinds = nil
+	mustPanic("no kinds", noKinds)
+	badCodec := valid
+	badCodec.Name = "XX2"
+	badCodec.Codec.BaseRatio = 1
+	mustPanic("non-compressing codec", badCodec)
+	badDims := valid
+	badDims.Name = "XX3"
+	badDims.Width = 0
+	mustPanic("zero width", badDims)
+}
+
+func TestRegistryIsolation(t *testing.T) {
+	a, _ := ByName("STK")
+	if len(a.Dynamics.Kinds) == 0 {
+		t.Fatal("STK has no kinds")
+	}
+	a.Dynamics.Kinds[0] = scene.Empty
+	b, _ := ByName("STK")
+	if b.Dynamics.Kinds[0] == scene.Empty {
+		t.Fatal("mutating a returned profile leaked into the registry")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	paper, err := Resolve("")
+	if err != nil || len(paper) != 6 {
+		t.Fatalf("Resolve(\"\") = %d profiles, err %v; want the paper six", len(paper), err)
+	}
+	all, err := Resolve("all")
+	if err != nil || len(all) != len(Names()) {
+		t.Fatalf("Resolve(all) = %d profiles, err %v; want the full registry", len(all), err)
+	}
+	subset, err := Resolve(" STK , CAD ")
+	if err != nil || len(subset) != 2 || subset[0].Name != "STK" || subset[1].Name != "CAD" {
+		t.Fatalf("Resolve(subset) = %+v, err %v", names(subset), err)
+	}
+	for _, bad := range []string{"NOPE", "STK,STK", "STK,,RE", "STK,NOPE"} {
+		if _, err := Resolve(bad); err == nil {
+			t.Fatalf("Resolve(%q) accepted an invalid spec", bad)
+		} else if !strings.Contains(err.Error(), "profile") {
+			t.Fatalf("Resolve(%q) error not actionable: %v", bad, err)
+		}
+	}
+}
+
+func names(ps []Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -35,13 +35,13 @@ type DeskBench struct {
 	// Timeout bounds how long a replayed action waits for its frame.
 	Timeout sim.Duration
 
-	send    func(scene.Action)
-	acts    []agent.Sample // acted frames only, in order
-	gaps    []sim.Duration // recorded gap before each action
-	idx     int
-	armedAt sim.Time
-	armed   bool
-	matched int64
+	send     func(scene.Action)
+	acts     []agent.Sample // acted frames only, in order
+	gaps     []sim.Duration // recorded gap before each action
+	idx      int
+	armedAt  sim.Time
+	armed    bool
+	matched  int64
 	timedOut int64
 }
 
@@ -130,7 +130,7 @@ func ChenEstimate(tr *trace.Tracer, prof app.Profile, rng *sim.RNG) *stats.Sampl
 			continue
 		}
 		al := rng.LogNormalAround(offlineAL, 0.12)
-		ms := (cs + sp + cp + ss).Seconds()*1e3 + al
+		ms := (cs+sp+cp+ss).Seconds()*1e3 + al
 		out.Add(ms)
 	}
 	return out

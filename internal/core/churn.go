@@ -85,15 +85,21 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	if streamBase == 0 {
 		streamBase = u.Base
 	}
+	suite := resolveShapeProfiles(t.ID, sh.Profiles)
+	// Like the one-shot stream key, the workload subset joins only when
+	// set, so pre-registry schedules derive their historical seeds.
 	streamKey := fmt.Sprintf("fleet/churn|%s|rate=%g|dur=%g|epochs=%d",
 		sh.Mix, sh.ArrivalRate, sh.MeanSessionEpochs, sh.Epochs)
-	stream, err := fleet.ChurnStream(fleet.Mix(sh.Mix), sh.ArrivalRate, sh.MeanSessionEpochs,
+	if sh.Profiles != "" {
+		streamKey += "|profiles=" + sh.Profiles
+	}
+	stream, err := fleet.ChurnStreamFrom(suite, fleet.Mix(sh.Mix), sh.ArrivalRate, sh.MeanSessionEpochs,
 		sh.Epochs, exp.DeriveSeed(streamBase, streamKey, u.Rep))
 	if err != nil {
 		panic(fmt.Sprintf("core: churn trial %q: %v", t.ID, err))
 	}
 
-	pol := fleetPolicy(t.ID, sh.Policy)
+	pol := fleetPolicy(t.ID, sh.Policy, suite)
 	f := buildFleet(t.ID, sh)
 	c := fleet.NewChurn(f, pol)
 

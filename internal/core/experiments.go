@@ -30,6 +30,23 @@ type ExperimentConfig struct {
 	// Reps repeats every trial with independently derived seeds and
 	// aggregates; <= 0 means a single run.
 	Reps int
+	// Profiles selects the workload set suite-scope experiments sweep:
+	// a comma-separated list of registered profile names ("STK,CAD,VV"),
+	// "all" for every registered profile, or "" for the paper's Table-2
+	// six (see app.Resolve). Per-profile entry points ignore it — they
+	// take a Profile explicitly.
+	Profiles string
+}
+
+// suite resolves the config's workload selection. Like the rest of the
+// experiment vocabulary, an invalid selection panics (validate with
+// app.Resolve at the boundary — the CLI does).
+func (cfg ExperimentConfig) suite() []app.Profile {
+	ps, err := app.Resolve(cfg.Profiles)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return ps
 }
 
 // DefaultExperimentConfig is used by the benchmarks and the CLI.
@@ -451,7 +468,8 @@ func RunContainerOverhead(prof app.Profile, cfg ExperimentConfig) ContainerResul
 // The full paper grid
 
 // SuiteGridResult is every experiment of the paper's evaluation over
-// the whole six-benchmark suite, produced by one runner invocation.
+// the selected workload suite (cfg.Profiles; the paper's six by
+// default), produced by one runner invocation.
 type SuiteGridResult struct {
 	// Methodology maps benchmark → Figure-6/Table-3 rows.
 	Methodology map[string][]MethodologyResult
@@ -460,7 +478,8 @@ type SuiteGridResult struct {
 	Characterization map[string][][]InstanceResult
 	// PowerWatts maps benchmark → wall power per co-location count.
 	PowerWatts map[string][]float64
-	// Pairs maps the 15 unordered benchmark pairs → both results.
+	// Pairs maps the n(n-1)/2 unordered benchmark pairs (15 for the
+	// paper suite) → both results.
 	Pairs map[[2]string][2]InstanceResult
 	// Container, Optimization and Overhead map benchmark → their rows.
 	Container    map[string]ContainerResult
@@ -470,7 +489,8 @@ type SuiteGridResult struct {
 
 // RunSuiteGrid expands the paper's complete evaluation — methodology ×
 // characterization sweeps × co-location pairs × container × frame-copy
-// optimization × framework overhead, over every suite benchmark — into
+// optimization × framework overhead, over every benchmark of the
+// selected suite (cfg.Profiles; the paper's six by default) — into
 // one flat trial grid and executes it on the parallel runner. Trials
 // with identical keys (e.g. the single-instance human baseline that
 // several experiments share) run once and fan out to every consumer.
@@ -517,7 +537,11 @@ func RunSuiteGrid(cfg ExperimentConfig) SuiteGridResult {
 		})
 	}
 
-	suite := app.Suite()
+	suite := cfg.suite()
+	byName := make(map[string]app.Profile, len(suite))
+	for _, prof := range suite {
+		byName[prof.Name] = prof
+	}
 	for _, prof := range suite {
 		prof := prof
 		name := prof.Name
@@ -547,10 +571,9 @@ func RunSuiteGrid(cfg ExperimentConfig) SuiteGridResult {
 		})
 	}
 
-	for _, pairNames := range SortedPairNames() {
+	for _, pairNames := range SortedPairNamesOf(suite) {
 		pairNames := pairNames
-		a, _ := app.ByName(pairNames[0])
-		b, _ := app.ByName(pairNames[1])
+		a, b := byName[pairNames[0]], byName[pairNames[1]]
 		plan([]exp.Trial{pairTrial(a, b, cfg)}, func(res [][]TrialResult) {
 			merged := mergeInstances(res[0])
 			out.Pairs[pairNames] = [2]InstanceResult{merged[0], merged[1]}
@@ -577,9 +600,15 @@ func FormatTable(header []string, rows [][]string) string {
 	return t.String()
 }
 
-// SortedPairNames lists the 15 unordered benchmark pairs of Figure 18.
+// SortedPairNames lists the 15 unordered benchmark pairs of Figure 18
+// (the paper suite).
 func SortedPairNames() [][2]string {
-	suite := app.Suite()
+	return SortedPairNamesOf(app.PaperSuite())
+}
+
+// SortedPairNamesOf lists the n(n-1)/2 unordered pairs of the given
+// workload set, sorted by name.
+func SortedPairNamesOf(suite []app.Profile) [][2]string {
 	var out [][2]string
 	for i := 0; i < len(suite); i++ {
 		for j := i + 1; j < len(suite); j++ {

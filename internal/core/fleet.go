@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"pictor/internal/app"
@@ -84,12 +86,18 @@ func executeFleet(t exp.Trial, u exp.Unit) *FleetResult {
 	if streamBase == 0 {
 		streamBase = u.Base
 	}
+	suite := resolveShapeProfiles(t.ID, sh.Profiles)
+	// The workload subset joins the stream key only when set, so every
+	// pre-registry shape derives its exact historical stream seed.
 	streamKey := fmt.Sprintf("fleet/mix|%s|%d", sh.Mix, sh.Requests)
-	reqs, err := fleet.RequestStream(fleet.Mix(sh.Mix), sh.Requests, exp.DeriveSeed(streamBase, streamKey, u.Rep))
+	if sh.Profiles != "" {
+		streamKey += "|profiles=" + sh.Profiles
+	}
+	reqs, err := fleet.RequestStreamFrom(suite, fleet.Mix(sh.Mix), sh.Requests, exp.DeriveSeed(streamBase, streamKey, u.Rep))
 	if err != nil {
 		panic(fmt.Sprintf("core: fleet trial %q: %v", t.ID, err))
 	}
-	pol := fleetPolicy(t.ID, sh.Policy)
+	pol := fleetPolicy(t.ID, sh.Policy, suite)
 	f := buildFleet(t.ID, sh)
 	f.Admit(reqs, pol)
 
@@ -170,17 +178,29 @@ func buildFleet(id string, sh exp.FleetShape) *fleet.Fleet {
 }
 
 // fleetPolicy resolves a placement-policy name, wiring the measured
-// pair-interference table into the bin-packer.
-func fleetPolicy(id, name string) fleet.Placement {
+// pair-interference table over the trial's workload set into the
+// bin-packer.
+func fleetPolicy(id, name string, suite []app.Profile) fleet.Placement {
 	var it *fleet.Interference
 	if name == fleet.PolicyBinPack {
-		it = PairInterference()
+		it = PairInterferenceAmong(suite)
 	}
 	pol, err := fleet.NewPolicy(name, it)
 	if err != nil {
 		panic(fmt.Sprintf("core: fleet trial %q: %v", id, err))
 	}
 	return pol
+}
+
+// resolveShapeProfiles resolves a shape's workload selection with an
+// attributable panic on invalid specs (validateFleetShape catches them
+// before trials reach the runner; this is the executor-side backstop).
+func resolveShapeProfiles(id, spec string) []app.Profile {
+	ps, err := app.Resolve(spec)
+	if err != nil {
+		panic(fmt.Sprintf("core: fleet trial %q: %v", id, err))
+	}
+	return ps
 }
 
 // ---------------------------------------------------------------------------
@@ -191,21 +211,51 @@ func fleetPolicy(id, name string) fleet.Placement {
 // — is identical in every process regardless of caller configuration.
 const interferenceSeed = 0xB1DC0DE
 
-var (
-	interferenceOnce  sync.Once
-	interferenceTable *fleet.Interference
-)
+// interferenceCache memoizes measured tables per suite fingerprint
+// (sorted profile names): the n(n+1)/2 pair measurement is expensive,
+// and fleets over the same workload set must place identically. Entries
+// hold a sync.Once so concurrent trials requesting the same fingerprint
+// measure once while different fingerprints proceed independently.
+type interferenceEntry struct {
+	once  sync.Once
+	table *fleet.Interference
+}
+
+var interferenceCache sync.Map // fingerprint string → *interferenceEntry
+
+// suiteFingerprint canonicalizes a workload set for caching: the sorted
+// profile names, joined. Order-independent — {STK,RE} and {RE,STK}
+// measure the same table.
+func suiteFingerprint(suite []app.Profile) string {
+	names := make([]string, len(suite))
+	for i, p := range suite {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
 
 // PairInterference measures the co-location penalty of every unordered
-// benchmark pair (self-pairs included): the §5.3 experiment, reduced to
-// one number per pair — the mean relative server-FPS loss of running
-// paired vs solo. It runs 6 solo + 21 pair trials with short fixed-seed
-// windows, once per process (cached, like TrainedModels), and is the
-// placement input for the profile-affinity bin-packing policy.
+// pair of the paper's six-benchmark suite (6 solo + 21 pair trials) —
+// the historical default table. See PairInterferenceAmong.
 func PairInterference() *fleet.Interference {
-	interferenceOnce.Do(func() {
+	return PairInterferenceAmong(app.PaperSuite())
+}
+
+// PairInterferenceAmong measures the co-location penalty of every
+// unordered pair of the given workload set (self-pairs included): the
+// §5.3 experiment, reduced to one number per pair — the mean relative
+// server-FPS loss of running paired vs solo. It runs n solo + n(n+1)/2
+// pair trials with short fixed-seed windows, once per process per suite
+// fingerprint (cached, like TrainedModels), and is the placement input
+// for the profile-affinity bin-packing policy. Trial keys depend only
+// on the profiles named, so a pair shared by two fingerprints measures
+// the identical score in both tables.
+func PairInterferenceAmong(suite []app.Profile) *fleet.Interference {
+	e, _ := interferenceCache.LoadOrStore(suiteFingerprint(suite), &interferenceEntry{})
+	entry := e.(*interferenceEntry)
+	entry.once.Do(func() {
 		cfg := ExperimentConfig{WarmupSeconds: 1, Seconds: 5, Seed: interferenceSeed, Parallel: 1}
-		suite := app.Suite()
 
 		trials := make([]exp.Trial, 0, len(suite)+len(suite)*(len(suite)+1)/2)
 		for _, p := range suite {
@@ -241,9 +291,9 @@ func PairInterference() *fleet.Interference {
 			}
 			it.Set(a, b, (loss(a, rs[0].ServerFPS)+loss(b, rs[1].ServerFPS))/2)
 		}
-		interferenceTable = it
+		entry.table = it
 	})
-	return interferenceTable
+	return entry.table
 }
 
 // ---------------------------------------------------------------------------
@@ -263,6 +313,9 @@ func fleetTrial(shape exp.FleetShape, cfg ExperimentConfig) exp.Trial {
 		mix = string(fleet.MixSuite)
 	}
 	t.ID = fmt.Sprintf("fleet/%s/%s/m%d×r%d", pol, mix, shape.Machines, shape.Requests)
+	if shape.Profiles != "" {
+		t.ID += "/" + shape.Profiles
+	}
 	return t
 }
 
@@ -319,6 +372,9 @@ func validateFleetShape(shape exp.FleetShape) {
 		panic("core: " + err.Error())
 	}
 	if _, err := fleet.ParseCoreClasses(shape.CoreClasses); err != nil {
+		panic("core: " + err.Error())
+	}
+	if _, err := app.Resolve(shape.Profiles); err != nil {
 		panic("core: " + err.Error())
 	}
 	if shape.Churn() {

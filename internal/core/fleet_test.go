@@ -87,12 +87,13 @@ func TestPairInterferenceCoversSuitePairs(t *testing.T) {
 		t.Skip("runs the pair co-location measurement")
 	}
 	it := PairInterference()
-	n := len(app.Suite())
+	paper := app.PaperSuite()
+	n := len(paper)
 	if want := n * (n + 1) / 2; it.Len() != want {
 		t.Fatalf("interference table has %d pairs, want %d (all unordered pairs incl. self)", it.Len(), want)
 	}
-	for _, a := range app.Suite() {
-		for _, b := range app.Suite() {
+	for _, a := range paper {
+		for _, b := range paper {
 			s := it.Score(a.Name, b.Name)
 			if s < 0 || s > 1 {
 				t.Fatalf("score(%s,%s) = %g out of [0,1]", a.Name, b.Name, s)
@@ -101,6 +102,22 @@ func TestPairInterferenceCoversSuitePairs(t *testing.T) {
 	}
 	if PairInterference() != it {
 		t.Fatal("interference table must be cached per process")
+	}
+	// The cache is keyed by suite fingerprint, order-independently: the
+	// same set requested in another order is the same (cached) table.
+	reversed := []app.Profile{paper[2], paper[1], paper[0]}
+	if PairInterferenceAmong(paper[:3]) != PairInterferenceAmong(reversed) {
+		t.Fatal("suite fingerprint must be order-independent")
+	}
+	// A different subset measures its own table, and pairs shared with
+	// another fingerprint score identically (trial keys depend only on
+	// the profiles named).
+	sub := PairInterferenceAmong(paper[:3])
+	if sub == it {
+		t.Fatal("distinct suites must not share a table")
+	}
+	if got, want := sub.Score(paper[0].Name, paper[1].Name), it.Score(paper[0].Name, paper[1].Name); got != want {
+		t.Fatalf("shared pair scores differ across fingerprints: %v vs %v", got, want)
 	}
 }
 

@@ -20,9 +20,10 @@ import (
 var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fixtures")
 
 const (
-	goldenPath      = "testdata/methodology_golden.txt"
-	fleetGoldenPath = "testdata/fleet_golden.txt"
-	churnGoldenPath = "testdata/churn_golden.txt"
+	goldenPath          = "testdata/methodology_golden.txt"
+	fleetGoldenPath     = "testdata/fleet_golden.txt"
+	churnGoldenPath     = "testdata/churn_golden.txt"
+	scenariosGoldenPath = "testdata/scenarios_golden.txt"
 )
 
 // checkGolden compares got against the pinned fixture at path, or
@@ -139,6 +140,49 @@ func TestGoldenFleetConsolidation(t *testing.T) {
 		t.Fatalf("fleet output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
 	}
 	checkGolden(t, fleetGoldenPath, seq)
+}
+
+// TestGoldenFleetScenarios pins the registry-wide workload path: a
+// fixed-seed RunFleetComparison over the full nine-profile registry
+// (shape.Profiles = "all", the CLI's `-exp fleet -profiles all`) — all
+// four placement policies, which pulls in the 9-solo + 45-pair
+// interference measurement — must be byte-identical at -parallel 1 and
+// 8 and must match the recorded fixture. Together with the unchanged
+// pre-registry fixtures above, this proves the subset selector extends
+// the key space without perturbing it.
+func TestGoldenFleetScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the nine-profile pair-interference measurement and 4 fleet trials")
+	}
+	shape := exp.FleetShape{
+		Machines: 4,
+		Mix:      string(fleet.MixSuite),
+		Requests: 12,
+		Profiles: "all",
+	}
+	base := QuickExperimentConfig()
+	base.WarmupSeconds, base.Seconds = 1, 5
+	base.Reps = 2
+
+	render := func(parallel int) string {
+		cfg := base
+		cfg.Parallel = parallel
+		return renderFleet(RunFleetComparison(shape, cfg))
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("nine-profile fleet output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
+	}
+	// Every family beyond the paper's six must actually appear in the
+	// consolidated stream — a sweep that never draws CAD/VV/CZ pins
+	// nothing new.
+	for _, name := range []string{"CAD", "VV", "CZ"} {
+		if !strings.Contains(seq, name) {
+			t.Fatalf("nine-profile sweep never placed %s:\n%s", name, seq)
+		}
+	}
+	checkGolden(t, scenariosGoldenPath, seq)
 }
 
 // renderChurn produces a byte-stable rendering of a churn comparison:

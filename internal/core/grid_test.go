@@ -88,14 +88,14 @@ func TestRunSuiteGridShape(t *testing.T) {
 	cfg.MaxInstances = 2
 	g := RunSuiteGrid(cfg)
 
-	suite := app.Suite()
+	suite := app.PaperSuite()
 	if len(g.Methodology) != len(suite) || len(g.Overhead) != len(suite) ||
 		len(g.Container) != len(suite) || len(g.Optimization) != len(suite) {
 		t.Fatalf("grid families incomplete: %d/%d/%d/%d of %d",
 			len(g.Methodology), len(g.Overhead), len(g.Container), len(g.Optimization), len(suite))
 	}
-	if len(g.Pairs) != 15 {
-		t.Fatalf("got %d pairs, want 15", len(g.Pairs))
+	if want := len(suite) * (len(suite) - 1) / 2; len(g.Pairs) != want {
+		t.Fatalf("got %d pairs, want %d", len(g.Pairs), want)
 	}
 	for _, prof := range suite {
 		char := g.Characterization[prof.Name]
@@ -123,4 +123,38 @@ func TestRunSuiteGridShape(t *testing.T) {
 				prof.Name, got, solo)
 		}
 	}
+}
+
+// TestRunSuiteGridProfileSubset: the grid's workload selector sweeps
+// exactly the named subset through every experiment family — and an
+// invalid selection panics before any trial runs.
+func TestRunSuiteGridProfileSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the STK models")
+	}
+	cfg := QuickExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	cfg.MaxInstances = 1
+	cfg.Profiles = "STK"
+	g := RunSuiteGrid(cfg)
+	if len(g.Methodology) != 1 || len(g.Characterization) != 1 ||
+		len(g.Container) != 1 || len(g.Optimization) != 1 || len(g.Overhead) != 1 {
+		t.Fatalf("subset grid swept the wrong families: %d/%d/%d/%d/%d, want all 1",
+			len(g.Methodology), len(g.Characterization), len(g.Container),
+			len(g.Optimization), len(g.Overhead))
+	}
+	if _, ok := g.Methodology["STK"]; !ok {
+		t.Fatal("subset grid missing the selected profile")
+	}
+	if len(g.Pairs) != 0 {
+		t.Fatalf("a one-profile subset has no pairs, got %d", len(g.Pairs))
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("an invalid profile selection must panic before running")
+		}
+	}()
+	cfg.Profiles = "NOPE"
+	RunSuiteGrid(cfg)
 }

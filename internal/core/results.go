@@ -22,12 +22,12 @@ type InstanceResult struct {
 	VNCCPUUtil float64
 	GPUUtil    float64
 
-	L3MissRate   float64
-	GPUL2Miss    float64 // -1 when PMU-unreadable (0 A.D.)
-	GPUTexMiss   float64
-	CPUTopDown   TopDown
-	FootprintMB  float64
-	GPUMemoryMB  float64
+	L3MissRate  float64
+	GPUL2Miss   float64 // -1 when PMU-unreadable (0 A.D.)
+	GPUTexMiss  float64
+	CPUTopDown  TopDown
+	FootprintMB float64
+	GPUMemoryMB float64
 
 	NetUpMbps   float64
 	NetDownMbps float64

@@ -98,6 +98,13 @@ type FleetShape struct {
 	// Mix is the arrival-mix name (see fleet.Mixes); "" means the
 	// suite cycled in paper order.
 	Mix string
+	// Profiles selects the workload set the arrival mix draws from: a
+	// comma-separated list of registered profile names ("STK,CAD,VV"),
+	// "all" for every registered profile, or "" for the paper's six
+	// (see app.Resolve). It serializes into Key() only when set, so
+	// every pre-registry shape keeps its exact historical key, seeds
+	// and fixtures.
+	Profiles string
 	// Requests is the one-shot instance-request stream length. It must
 	// be >= 1 for non-churn shapes (the executor rejects non-positive
 	// streams rather than silently running one request) and is ignored
@@ -217,11 +224,15 @@ func (t Trial) Key() string {
 		f := *t.Fleet
 		key += fmt.Sprintf("|fleet:n=%d:pol=%s:mix=%s:req=%d:cores=%d",
 			f.Machines, f.Policy, f.Mix, f.Requests, f.MachineCores)
-		// Heterogeneity and churn serialize only when set, so every
-		// pre-churn shape keeps its exact historical key (and therefore
-		// its derived per-rep seeds and golden fixtures).
+		// Heterogeneity, workload subset and churn serialize only when
+		// set, so every pre-churn, pre-registry shape keeps its exact
+		// historical key (and therefore its derived per-rep seeds and
+		// golden fixtures).
 		if f.CoreClasses != "" {
 			key += fmt.Sprintf(":classes=%s", f.CoreClasses)
+		}
+		if f.Profiles != "" {
+			key += fmt.Sprintf(":profiles=%s", f.Profiles)
 		}
 		if f.Churn() {
 			key += fmt.Sprintf(":churn=e%d:rate=%g:dur=%g:mig=%t",

@@ -35,7 +35,8 @@ func TestDeriveSeedStable(t *testing.T) {
 func TestDeriveSeedCollisionFree(t *testing.T) {
 	seen := map[int64]string{}
 	checked := 0
-	for _, prof := range app.Suite() {
+	suite := app.Suite() // the full registry: new families' keys count too
+	for _, prof := range suite {
 		for _, d := range []DriverKind{DriverHuman, DriverIC, DriverDeskBench, DriverSlowMotion} {
 			for n := 1; n <= 4; n++ {
 				tr := Homogeneous(prof, d, n)
@@ -52,7 +53,7 @@ func TestDeriveSeedCollisionFree(t *testing.T) {
 			}
 		}
 	}
-	if checked != 6*4*4*5 {
+	if checked != len(suite)*4*4*5 {
 		t.Fatalf("grid expansion wrong: checked %d units", checked)
 	}
 }
@@ -196,6 +197,34 @@ func TestTrialKeyDistinguishesSpecs(t *testing.T) {
 	}
 	if base.Key() != Single(app.STK(), DriverHuman).Key() {
 		t.Fatal("identical specs must have identical keys")
+	}
+}
+
+// TestFleetShapeProfilesKeyStability: the workload subset serializes
+// into the key only when set, so every pre-registry fleet shape keeps
+// its exact historical key — and therefore its derived seeds, streams
+// and golden fixtures.
+func TestFleetShapeProfilesKeyStability(t *testing.T) {
+	tr := FleetTrial(FleetShape{Machines: 3, Policy: "binpack", Mix: "shuffled", Requests: 8})
+	tr.Warmup, tr.Measure = 1, 5
+	const legacy = "w=1;m=5;s=0|fleet:n=3:pol=binpack:mix=shuffled:req=8:cores=0"
+	if got := tr.Key(); got != legacy {
+		t.Fatalf("pre-registry fleet key changed:\n got %q\nwant %q", got, legacy)
+	}
+	withProfiles := tr
+	shape := *tr.Fleet
+	shape.Profiles = "STK,CAD,VV"
+	withProfiles.Fleet = &shape
+	if got := withProfiles.Key(); got != legacy+":profiles=STK,CAD,VV" {
+		t.Fatalf("subset key = %q, want the legacy key plus :profiles=...", got)
+	}
+	// Churn shapes order profiles before the churn block consistently.
+	churn := shape
+	churn.Epochs, churn.ArrivalRate, churn.MeanSessionEpochs = 4, 2, 3
+	churnTrial := withProfiles
+	churnTrial.Fleet = &churn
+	if got := churnTrial.Key(); got == withProfiles.Key() {
+		t.Fatalf("churn fields must still distinguish keys, got %q", got)
 	}
 }
 

@@ -53,19 +53,28 @@ func ValidateChurnParams(rate, meanEpochs float64, epochs int) error {
 	return nil
 }
 
-// ChurnStream generates the deterministic arrival schedule: for each of
-// the epochs, the sessions arriving in it. Arrival counts are
+// ChurnStream generates the deterministic arrival schedule over the
+// paper's six-benchmark suite (the historical default). See
+// ChurnStreamFrom for an explicit workload set.
+func ChurnStream(mix Mix, rate, meanEpochs float64, epochs int, seed int64) ([][]*Session, error) {
+	return ChurnStreamFrom(nil, mix, rate, meanEpochs, epochs, seed)
+}
+
+// ChurnStreamFrom generates the deterministic arrival schedule: for
+// each of the epochs, the sessions arriving in it, with profiles drawn
+// from the given workload set (nil means the paper's six, keeping every
+// pre-registry schedule byte-identical). Arrival counts are
 // Poisson(rate) per epoch, profiles are drawn from the named mix, and
 // session lengths are exponential with mean meanEpochs (rounded up, so
 // every session runs at least one epoch). The schedule is a pure
-// function of (mix, rate, meanEpochs, epochs, seed): arrivals,
+// function of (suite, mix, rate, meanEpochs, epochs, seed): arrivals,
 // durations and profiles draw from independent sim.RNG forks, so the
 // same shape always churns identically on the parallel runner.
-func ChurnStream(mix Mix, rate, meanEpochs float64, epochs int, seed int64) ([][]*Session, error) {
+func ChurnStreamFrom(suite []app.Profile, mix Mix, rate, meanEpochs float64, epochs int, seed int64) ([][]*Session, error) {
 	if err := ValidateChurnParams(rate, meanEpochs, epochs); err != nil {
 		return nil, err
 	}
-	draw, err := profileDrawer(mix, seed)
+	draw, err := profileDrawer(suite, mix, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -53,9 +53,9 @@ func TestChurnStreamDeterministicAndShaped(t *testing.T) {
 
 func TestChurnStreamRejectsBadParams(t *testing.T) {
 	cases := []struct {
-		name               string
-		rate, mean         float64
-		epochs             int
+		name       string
+		rate, mean float64
+		epochs     int
 	}{
 		{"zero epochs", 1, 1, 0},
 		{"negative epochs", 1, 1, -3},

@@ -248,20 +248,25 @@ const (
 // Mixes lists the supported arrival mixes.
 func Mixes() []Mix { return []Mix{MixSuite, MixShuffled, MixHeavy} }
 
-// heavyWeights weight the suite for MixHeavy, in Suite() order
-// (STK, 0AD, RE, D2, IM, ITP).
-var heavyWeights = []int{3, 1, 1, 3, 2, 1}
-
-// RequestStream generates n instance requests for the named mix. The
-// stream is a pure function of (mix, n, seed), so fleet trials stay
-// deterministic on the parallel runner. A non-positive n is an error —
-// silently clamping it to 1 (the old behaviour) made "-requests 0"
-// quietly run one request instead of failing loudly.
+// RequestStream generates n instance requests for the named mix, drawn
+// from the paper's six-benchmark suite (the historical default). See
+// RequestStreamFrom for an explicit workload set.
 func RequestStream(mix Mix, n int, seed int64) ([]app.Profile, error) {
+	return RequestStreamFrom(nil, mix, n, seed)
+}
+
+// RequestStreamFrom generates n instance requests for the named mix,
+// drawn from the given workload set (nil means the paper's six, keeping
+// every pre-registry stream byte-identical). The stream is a pure
+// function of (suite, mix, n, seed), so fleet trials stay deterministic
+// on the parallel runner. A non-positive n is an error — silently
+// clamping it to 1 (the old behaviour) made "-requests 0" quietly run
+// one request instead of failing loudly.
+func RequestStreamFrom(suite []app.Profile, mix Mix, n int, seed int64) ([]app.Profile, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fleet: request stream needs at least 1 request, got %d", n)
 	}
-	draw, err := profileDrawer(mix, seed)
+	draw, err := profileDrawer(suite, mix, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -273,12 +278,17 @@ func RequestStream(mix Mix, n int, seed int64) ([]app.Profile, error) {
 }
 
 // profileDrawer returns a deterministic profile generator for the named
-// mix — the single source of arrival randomness shared by the one-shot
-// RequestStream and the churn model's per-epoch arrivals. The fork
-// labels (and therefore the random streams) match the original
-// RequestStream implementation exactly.
-func profileDrawer(mix Mix, seed int64) (func() app.Profile, error) {
-	suite := app.Suite()
+// mix over the given workload set — the single source of arrival
+// randomness shared by the one-shot RequestStream and the churn model's
+// per-epoch arrivals. A nil suite draws from the paper's six; the fork
+// labels (and, over the default set, the random streams) match the
+// original fixed-suite implementation exactly. The heavy mix weights
+// each profile by its declared HeavyWeight (unset weights count as 1),
+// so extended families slot into the mix without a baked-in table.
+func profileDrawer(suite []app.Profile, mix Mix, seed int64) (func() app.Profile, error) {
+	if len(suite) == 0 {
+		suite = app.PaperSuite()
+	}
 	switch mix {
 	case MixSuite, "":
 		i := 0
@@ -293,14 +303,20 @@ func profileDrawer(mix Mix, seed int64) (func() app.Profile, error) {
 			return suite[rng.Intn(len(suite))]
 		}, nil
 	case MixHeavy:
+		weights := make([]int, len(suite))
 		total := 0
-		for _, w := range heavyWeights {
+		for i, p := range suite {
+			w := p.HeavyWeight
+			if w < 1 {
+				w = 1
+			}
+			weights[i] = w
 			total += w
 		}
 		rng := sim.NewRNG(seed).Fork("fleet/mix/heavy")
 		return func() app.Profile {
 			r := rng.Intn(total)
-			for j, w := range heavyWeights {
+			for j, w := range weights {
 				if r < w {
 					return suite[j]
 				}

@@ -66,11 +66,84 @@ func TestRequestStreamSuiteCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	suite := app.Suite()
+	// The default stream draws from the paper's six, not the full
+	// registry — pre-registry streams must stay byte-identical.
+	suite := app.PaperSuite()
 	for i, r := range reqs {
 		if r.Name != suite[i%len(suite)].Name {
 			t.Fatalf("request %d = %s, want %s", i, r.Name, suite[i%len(suite)].Name)
 		}
+	}
+}
+
+// TestRequestStreamFromDrawsActiveSuite: streams over an explicit
+// workload set draw only from it, for every mix, and the heavy mix
+// honors the profiles' declared HeavyWeight.
+func TestRequestStreamFromDrawsActiveSuite(t *testing.T) {
+	suite, err := app.Resolve("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, p := range suite {
+		allowed[p.Name] = true
+	}
+	for _, mix := range Mixes() {
+		reqs, err := RequestStreamFrom(suite, mix, 200, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		seen := map[string]bool{}
+		for _, r := range reqs {
+			if !allowed[r.Name] {
+				t.Fatalf("%s: drew %s, not in the active suite", mix, r.Name)
+			}
+			seen[r.Name] = true
+		}
+		for _, name := range []string{"CAD", "VV", "CZ"} {
+			if !seen[name] {
+				t.Fatalf("%s: 200 draws over the full registry never produced %s", mix, name)
+			}
+		}
+	}
+	// Heavy mix over the full registry: VV (weight 3) must outdraw CZ
+	// (weight 1).
+	reqs, err := RequestStreamFrom(suite, MixHeavy, 900, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, r := range reqs {
+		count[r.Name]++
+	}
+	if count["VV"] <= count["CZ"] {
+		t.Fatalf("heavy mix must favor VV over CZ by declared weight: VV=%d CZ=%d", count["VV"], count["CZ"])
+	}
+}
+
+// TestChurnStreamFromDrawsActiveSuite: churn schedules honor the
+// explicit workload set too.
+func TestChurnStreamFromDrawsActiveSuite(t *testing.T) {
+	suite, err := app.Resolve("CAD,VV,CZ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := ChurnStreamFrom(suite, MixShuffled, 3, 2, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{"CAD": true, "VV": true, "CZ": true}
+	arrivals := 0
+	for _, epoch := range stream {
+		for _, s := range epoch {
+			arrivals++
+			if !allowed[s.Profile.Name] {
+				t.Fatalf("churn drew %s, not in the active suite", s.Profile.Name)
+			}
+		}
+	}
+	if arrivals == 0 {
+		t.Fatal("12 epochs at rate 3 produced no arrivals")
 	}
 }
 

@@ -8,13 +8,13 @@ import (
 
 // Adam is the Adam optimizer (Kingma & Ba) over a parameter set.
 type Adam struct {
-	LR      float64
-	Beta1   float64
-	Beta2   float64
-	Eps     float64
-	Clip    float64 // max gradient L2 norm per step; 0 disables clipping
-	t       int
-	params  []*Param
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Clip   float64 // max gradient L2 norm per step; 0 disables clipping
+	t      int
+	params []*Param
 }
 
 // NewAdam creates an optimizer with standard hyperparameters.

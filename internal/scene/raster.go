@@ -105,6 +105,26 @@ func init() {
 		"..+..+..",
 		"...##...",
 	})
+	set(Cloth, [CellPx]string{
+		"#+.##.+#",
+		"+#+..+#+",
+		".+#++#+.",
+		"..+##+..",
+		"..+##+..",
+		".+#++#+.",
+		"+#+..+#+",
+		"#+.##.+#",
+	})
+	set(PointCloud, [CellPx]string{
+		"#.+.#.+.",
+		".+.#.+.#",
+		"#.#.+.#.",
+		".+.+.#.+",
+		"+.#.#.+.",
+		".#.+.+.#",
+		"#.+.#.#.",
+		".+.#.+.+",
+	})
 }
 
 // Frame is a rendered frame flowing through the cloud rendering system.

@@ -52,21 +52,43 @@ func (a Action) Valid() bool { return a < NumActions }
 // Type classifies an on-screen object.
 type Type uint8
 
-// Object types drawn by the suite's scenes.
+// Object types drawn by the suite's scenes. The first block is the
+// paper suite's vocabulary; NumCoreTypes bounds it because the
+// intelligent client's CNN is sized to exactly these classes (see
+// agent.FeatureSize) — growing the core vocabulary would change every
+// trained model's shape and therefore every pinned fixture.
 const (
-	Empty Type = iota
-	Track      // road/terrain marker
-	Vehicle    // kart, hero, unit
-	Item       // pickup, resource
-	Enemy      // opponent, creep
-	Building   // structure
-	Panel      // UI/HUD element
-	Target     // objective, anatomy highlight (VR)
-	NumTypes   // count sentinel
+	Empty    Type = iota
+	Track         // road/terrain marker
+	Vehicle       // kart, hero, unit
+	Item          // pickup, resource
+	Enemy         // opponent, creep
+	Building      // structure
+	Panel         // UI/HUD element
+	Target        // objective, anatomy highlight (VR)
+	// NumCoreTypes bounds the original Table-2 vocabulary — the
+	// intelligent client's recognition classes. New entity kinds go
+	// below it: the CNN recognizes them as the nearest core class
+	// (a fixed-vocabulary recognizer meeting novel content), while the
+	// human reference policy perceives them exactly (Frame.Cells).
+	NumCoreTypes
+)
+
+// Extended object types for scenario families beyond the paper's six.
+const (
+	// Cloth is a deforming captured surface (volumetric-video subjects:
+	// people, garments) — relentless pose change, codec-hostile pixels.
+	Cloth Type = NumCoreTypes + iota
+	// PointCloud is dense static geometry (CAD assemblies, volumetric
+	// capture backdrops) — extreme render complexity, near-zero motion.
+	PointCloud
+	// NumTypes counts every object type, extended kinds included.
+	NumTypes
 )
 
 var typeNames = [NumTypes]string{
 	"empty", "track", "vehicle", "item", "enemy", "building", "panel", "target",
+	"cloth", "pointcloud",
 }
 
 func (t Type) String() string {

@@ -155,12 +155,36 @@ func (c *Cluster) Results() []InstanceResult {
 // TotalPowerWatts reports modelled wall power over the last window.
 func (c *Cluster) TotalPowerWatts() float64 { return c.inner.TotalPowerWatts() }
 
-// Suite returns the paper's six-benchmark suite (Table 2):
-// SuperTuxKart, 0 A.D., Red Eclipse, Dota2, InMind, IMHOTEP.
+// Suite returns every registered workload profile in stable
+// registration order: the paper's six-benchmark suite (Table 2) first —
+// SuperTuxKart, 0 A.D., Red Eclipse, Dota2, InMind, IMHOTEP — then the
+// extended scenario families (CloudCAD, VoluPlay, CasualZen).
 func Suite() []Profile { return app.Suite() }
 
-// SuiteByName finds a suite profile by short name (STK, 0AD, RE, D2,
-// IM, ITP); it panics on unknown names (the suite is fixed).
+// PaperSuite returns exactly the paper's six-benchmark suite (Table 2)
+// in paper order — the default workload set of every experiment.
+func PaperSuite() []Profile { return app.PaperSuite() }
+
+// ProfileNames lists every registered profile's short key in stable
+// order (the -profiles / FleetShape.Profiles vocabulary).
+func ProfileNames() []string { return app.Names() }
+
+// ResolveProfiles turns a workload spec — "" for the paper six, "all"
+// for every registered profile, or a comma-separated name list — into
+// concrete profiles, erroring with the registered vocabulary on unknown
+// names. Use it to validate ExperimentConfig.Profiles or
+// FleetShape.Profiles before running.
+func ResolveProfiles(spec string) ([]Profile, error) { return app.Resolve(spec) }
+
+// RegisterProfile adds a calibrated workload profile to the registry,
+// making it available to SuiteByName, arrival mixes, fleet shapes and
+// the -profiles selector. It panics on invalid or duplicate
+// registrations (register at init time).
+func RegisterProfile(p Profile) { app.Register(p) }
+
+// SuiteByName finds a registered profile by short name (STK, 0AD, RE,
+// D2, IM, ITP, CAD, VV, CZ, plus anything registered); it panics on
+// unknown names (the vocabulary is fixed at registration time).
 func SuiteByName(name string) Profile {
 	p, ok := app.ByName(name)
 	if !ok {

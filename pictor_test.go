@@ -7,12 +7,12 @@ import (
 )
 
 func TestSuiteComposition(t *testing.T) {
-	suite := pictor.Suite()
-	if len(suite) != 6 {
-		t.Fatalf("suite has %d benchmarks, want 6 (Table 2)", len(suite))
+	paper := pictor.PaperSuite()
+	if len(paper) != 6 {
+		t.Fatalf("paper suite has %d benchmarks, want 6 (Table 2)", len(paper))
 	}
 	vr, closed := 0, 0
-	for _, p := range suite {
+	for _, p := range paper {
 		if p.IsVR {
 			vr++
 		}
@@ -21,10 +21,22 @@ func TestSuiteComposition(t *testing.T) {
 		}
 	}
 	if vr != 2 {
-		t.Fatalf("suite has %d VR titles, want 2", vr)
+		t.Fatalf("paper suite has %d VR titles, want 2", vr)
 	}
 	if closed != 2 {
-		t.Fatalf("suite has %d closed-source titles, want 2 (Dota2, InMind)", closed)
+		t.Fatalf("paper suite has %d closed-source titles, want 2 (Dota2, InMind)", closed)
+	}
+	if got := len(pictor.Suite()); got < 9 {
+		t.Fatalf("registry has %d profiles, want >= 9 (paper six + CAD, VV, CZ)", got)
+	}
+	if got := len(pictor.ProfileNames()); got != len(pictor.Suite()) {
+		t.Fatalf("ProfileNames (%d) and Suite (%d) disagree", got, len(pictor.Suite()))
+	}
+	if _, err := pictor.ResolveProfiles("STK,CAD,VV"); err != nil {
+		t.Fatalf("ResolveProfiles rejected a valid subset: %v", err)
+	}
+	if _, err := pictor.ResolveProfiles("NOPE"); err == nil {
+		t.Fatal("ResolveProfiles accepted an unknown name")
 	}
 }
 
