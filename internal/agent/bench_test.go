@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"fmt"
 	"testing"
 
 	"pictor/internal/scene"
@@ -46,6 +47,34 @@ func BenchmarkNextActionLogits(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.NextActionLogits(detected)
+	}
+}
+
+// BenchmarkBatchDetect measures cross-session batched detection at
+// machine occupancies 1, 8 and 32. The reported ns/op is per FRAME
+// BATCH (all B sessions recognized in one pass); divide by B for the
+// amortized per-session cost — batching drops it superlinearly versus
+// B separate Detect calls because the im2col/matmul fixed overheads
+// are paid once per pass instead of once per session.
+func BenchmarkBatchDetect(b *testing.B) {
+	for _, size := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("B%d", size), func(b *testing.B) {
+			bm := NewBatchModels(NewModels(1))
+			sessions := make([]*BatchSession, size)
+			frames := make([]*scene.Frame, size)
+			for i := range sessions {
+				sessions[i] = bm.NewSession()
+				frames[i] = benchFrame()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, s := range sessions {
+					s.SubmitFrame(frames[j].Pixels)
+				}
+				sessions[0].Detected() // flushes the whole batch
+			}
+		})
 	}
 }
 

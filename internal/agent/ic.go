@@ -14,11 +14,11 @@ import (
 // frames replace the waiting one (the client always works on the most
 // recent state, like a human).
 type IntelligentClient struct {
-	k      *sim.Kernel
-	rng    *sim.RNG
-	prof   app.Profile
-	models *Models
-	send   func(scene.Action)
+	k    *sim.Kernel
+	rng  *sim.RNG
+	prof app.Profile
+	sess *BatchSession
+	send func(scene.Action)
 
 	busy    bool
 	latest  *scene.Frame
@@ -30,14 +30,23 @@ type IntelligentClient struct {
 	RNNTimes stats.Sample
 }
 
-// NewIntelligentClient creates the driver around trained models.
+// NewIntelligentClient creates a standalone driver around trained
+// models (a private single-session batch). Clients that share a machine
+// should share a BatchModels instead, via NewIntelligentClientInBatch,
+// so their per-frame CNN passes coalesce.
 func NewIntelligentClient(k *sim.Kernel, rng *sim.RNG, prof app.Profile, models *Models) *IntelligentClient {
-	models.ResetState()
+	return NewIntelligentClientInBatch(k, rng, prof, NewBatchModels(models).NewSession())
+}
+
+// NewIntelligentClientInBatch creates the driver around a session of a
+// (possibly shared) BatchModels.
+func NewIntelligentClientInBatch(k *sim.Kernel, rng *sim.RNG, prof app.Profile, sess *BatchSession) *IntelligentClient {
+	sess.ResetState()
 	return &IntelligentClient{
-		k:      k,
-		rng:    rng.Fork("ic-" + prof.Name),
-		prof:   prof,
-		models: models,
+		k:    k,
+		rng:  rng.Fork("ic-" + prof.Name),
+		prof: prof,
+		sess: sess,
 	}
 }
 
@@ -78,14 +87,17 @@ func (ic *IntelligentClient) maybeProcess() {
 	// The CNN genuinely runs on the frame's pixels; the simulated
 	// latency models the client machine executing a MobileNets-class
 	// network (the real network here is far smaller than its wall-time
-	// budget, so the budget comes from the profile). After Detect the
-	// pixels are consumed and the frame can be recycled.
-	detected := ic.models.Detect(f.Pixels)
+	// budget, so the budget comes from the profile). The pixels are
+	// copied into the session's submit buffer, so the frame can be
+	// recycled immediately; the CNN itself runs batched with the other
+	// sessions on this machine when the first result is demanded,
+	// within this client's simulated CV latency window.
+	ic.sess.SubmitFrame(f.Pixels)
 	f.Release()
 	cv := ic.rng.Jitter(sim.DurationOfSeconds(ic.prof.CVLatencyMs/1e3), 0.10)
 	ic.CVTimes.Add(float64(cv) / float64(sim.Millisecond))
 	ic.k.After(cv, func() {
-		logits := ic.models.NextActionLogits(detected)
+		logits := ic.sess.NextActionLogits(ic.sess.Detected())
 		act := SampleAction(logits, ic.rng)
 		rnn := ic.rng.Jitter(sim.DurationOfSeconds(ic.prof.RNNLatencyMs/1e3), 0.15)
 		ic.RNNTimes.Add(float64(rnn) / float64(sim.Millisecond))

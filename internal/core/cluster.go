@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 
+	"pictor/internal/agent"
 	"pictor/internal/app"
 	"pictor/internal/container"
 	"pictor/internal/gl"
@@ -23,9 +24,12 @@ import (
 	"pictor/internal/x11"
 )
 
-// DriverFactory builds a client driver once the instance's kernel and
-// RNG exist. A nil factory means an undriven instance (no inputs).
-type DriverFactory func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver
+// DriverFactory builds a client driver once the instance's cluster and
+// RNG exist. The cluster gives factories machine scope — intelligent
+// clients use it to share one BatchModels per machine (c.BatcherFor)
+// so their per-frame CNN passes run as one batch; c.K is the kernel.
+// A nil factory means an undriven instance (no inputs).
+type DriverFactory func(c *Cluster, rng *sim.RNG, prof app.Profile) vnc.Driver
 
 // Options configures a cluster (one server machine + its clients).
 type Options struct {
@@ -112,9 +116,27 @@ type Cluster struct {
 
 	Instances []*Instance
 
-	opts    Options
-	rng     *sim.RNG
-	measure sim.Duration
+	opts     Options
+	rng      *sim.RNG
+	measure  sim.Duration
+	batchers map[*agent.Models]*agent.BatchModels
+}
+
+// BatcherFor returns the cluster's shared BatchModels for one trained
+// model set, creating it on first use (the weights are cloned once per
+// cluster, not once per client). All intelligent clients on this
+// machine built from the same models join the same batch, so their
+// per-frame CNN passes coalesce into one tick-synchronized inference.
+func (c *Cluster) BatcherFor(models *agent.Models) *agent.BatchModels {
+	if c.batchers == nil {
+		c.batchers = make(map[*agent.Models]*agent.BatchModels)
+	}
+	bm, ok := c.batchers[models]
+	if !ok {
+		bm = agent.NewBatchModels(models)
+		c.batchers[models] = bm
+	}
+	return bm
 }
 
 // NewCluster builds an empty server.
@@ -197,7 +219,7 @@ func (c *Cluster) AddInstance(cfg InstanceConfig) *Instance {
 	})
 	var driver vnc.Driver
 	if cfg.Driver != nil {
-		driver = cfg.Driver(c.K, rng, prof)
+		driver = cfg.Driver(c, rng, prof)
 	}
 	client := vnc.NewClientProxy(c.K, link, tracer, server, driver)
 

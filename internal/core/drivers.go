@@ -12,25 +12,26 @@ import (
 
 // HumanDriver returns the reference human player factory.
 func HumanDriver() DriverFactory {
-	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
-		return agent.NewHuman(k, rng, prof)
+	return func(c *Cluster, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		return agent.NewHuman(c.K, rng, prof)
 	}
 }
 
 // ICDriver returns the intelligent-client factory around trained
-// models. Every client gets its own clone of the networks: inference
-// mutates them (LSTM state, activation caches), and the experiment
-// runner drives many instances concurrently against one trained model.
+// models. Clients on the same cluster share one machine-scoped
+// BatchModels (weights cloned once per cluster, a state row per
+// client), so concurrent sessions' CNN passes run as one batch instead
+// of N sequential per-clone calls.
 func ICDriver(models *agent.Models) DriverFactory {
-	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
-		return agent.NewIntelligentClient(k, rng, prof, models.Clone())
+	return func(c *Cluster, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		return agent.NewIntelligentClientInBatch(c.K, rng, prof, c.BatcherFor(models).NewSession())
 	}
 }
 
 // DeskBenchDriver returns the record-replay factory over a recording.
 func DeskBenchDriver(rec *agent.Recording, frameGap sim.Duration, threshold float64) DriverFactory {
-	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
-		d := baselines.NewDeskBench(k, rng, rec, frameGap)
+	return func(c *Cluster, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		d := baselines.NewDeskBench(c.K, rng, rec, frameGap)
 		if threshold > 0 {
 			d.Threshold = threshold
 		}
@@ -39,11 +40,12 @@ func DeskBenchDriver(rec *agent.Recording, frameGap sim.Duration, threshold floa
 }
 
 // SlowMotionDriver returns an IC paced one-input-at-a-time (use with
-// app.ModeSlowMotion). Like ICDriver, each client clones the models.
+// app.ModeSlowMotion). Like ICDriver, clients join the cluster's
+// shared batch.
 func SlowMotionDriver(models *agent.Models) DriverFactory {
-	return func(k *sim.Kernel, rng *sim.RNG, prof app.Profile) vnc.Driver {
-		ic := agent.NewIntelligentClient(k, rng, prof, models.Clone())
-		return baselines.NewSlowMotionPacer(k, ic)
+	return func(c *Cluster, rng *sim.RNG, prof app.Profile) vnc.Driver {
+		ic := agent.NewIntelligentClientInBatch(c.K, rng, prof, c.BatcherFor(models).NewSession())
+		return baselines.NewSlowMotionPacer(c.K, ic)
 	}
 }
 
@@ -53,8 +55,8 @@ func SlowMotionDriver(models *agent.Models) DriverFactory {
 func RecordSession(prof app.Profile, seconds float64, seed int64) (*agent.Recording, sim.Duration) {
 	cl := NewCluster(Options{Seed: seed, Cores: 8})
 	var rec *agent.Recording
-	cfg := NewInstanceConfig(prof, func(k *sim.Kernel, rng *sim.RNG, p app.Profile) vnc.Driver {
-		h := agent.NewHuman(k, rng, p)
+	cfg := NewInstanceConfig(prof, func(c *Cluster, rng *sim.RNG, p app.Profile) vnc.Driver {
+		h := agent.NewHuman(c.K, rng, p)
 		rec = agent.NewRecorder(h, p.Name)
 		return h
 	})

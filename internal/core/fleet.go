@@ -27,8 +27,16 @@ type MachineResult struct {
 	// PowerWatts is the machine's modelled wall power (idle machines
 	// still burn idle watts — that is the point of bin-packing).
 	PowerWatts float64
-	// RTT pools the placed instances' RTT distributions.
+	// RTT pools the placed instances' RTT distributions by averaging
+	// their per-instance quantiles (the historical aggregate the golden
+	// fixtures pin).
 	RTT stats.Summary
+	// RawRTT holds the placed instances' raw RTT observations (ms,
+	// sorted per instance, concatenated in admission order). Exact
+	// pooled quantiles come from these — averaging per-instance
+	// quantiles, as RTT does, is only an approximation of the pooled
+	// distribution's quantiles.
+	RawRTT []float64
 	// QoSViolations counts instances below the 25-FPS interactivity
 	// floor (fleet.QoSMinFPS).
 	QoSViolations int
@@ -62,8 +70,15 @@ type FleetResult struct {
 	QoSViolations int
 	// TotalPowerWatts sums wall power over all machines, idle included.
 	TotalPowerWatts float64
-	// RTT pools every placed instance's RTT distribution.
+	// RTT pools every placed instance's RTT distribution by averaging
+	// per-instance (and, merged, per-rep) quantiles — the historical
+	// aggregate the golden fixtures pin.
 	RTT stats.Summary
+	// ExactRTT summarizes the pooled raw RTT observations of every
+	// placed instance — across every repetition when RepsMerged > 1 —
+	// so its quantiles are those of the actual pooled distribution
+	// rather than averages of per-rep quantiles.
+	ExactRTT stats.Summary
 }
 
 // executeFleet lowers a fleet-shaped trial onto real clusters: generate
@@ -140,6 +155,7 @@ func executeFleet(t exp.Trial, u exp.Unit) *FleetResult {
 			}
 			if r.RTT.N > 0 {
 				machineRTTs = append(machineRTTs, r.RTT)
+				mr.RawRTT = append(mr.RawRTT, inst.Tracer.RTTs().Values()...)
 			}
 		}
 		mr.RTT = exp.PoolSummaries(machineRTTs)
@@ -151,7 +167,25 @@ func executeFleet(t exp.Trial, u exp.Unit) *FleetResult {
 		out.TotalPowerWatts += mr.PowerWatts
 	}
 	out.RTT = exp.PoolSummaries(fleetRTTs)
+	out.ExactRTT = exactPooledRTT([]*FleetResult{out})
 	return out
+}
+
+// exactPooledRTT pools every machine's raw RTT observations across the
+// given results into one sample and summarizes it exactly. Fed one
+// result it describes a single execution; fed a trial's repetitions it
+// is the cross-rep pooled distribution mergeFleet records.
+func exactPooledRTT(frs []*FleetResult) stats.Summary {
+	var pooled stats.Sample
+	for _, fr := range frs {
+		for _, m := range fr.Machines {
+			pooled.AddAll(m.RawRTT)
+		}
+	}
+	if pooled.N() == 0 {
+		return stats.Summary{}
+	}
+	return pooled.Summarize()
 }
 
 // buildFleet constructs the placement-time fleet for a shape:
@@ -333,6 +367,7 @@ func mergeFleet(reps []TrialResult) FleetResult {
 	out.Machines = append([]MachineResult(nil), out.Machines...)
 	for i := range out.Machines {
 		out.Machines[i].Results = append([]InstanceResult(nil), out.Machines[i].Results...)
+		out.Machines[i].RawRTT = append([]float64(nil), out.Machines[i].RawRTT...)
 	}
 	if len(reps) == 1 {
 		return out
@@ -340,6 +375,7 @@ func mergeFleet(reps []TrialResult) FleetResult {
 	inv := 1 / float64(len(reps))
 	power, placed, rejected, qos := 0.0, 0.0, 0.0, 0.0
 	rtts := make([]stats.Summary, 0, len(reps))
+	raws := make([]*FleetResult, 0, len(reps))
 	for _, r := range reps {
 		fr := r.Fleet
 		power += fr.TotalPowerWatts * inv
@@ -349,12 +385,17 @@ func mergeFleet(reps []TrialResult) FleetResult {
 		if fr.RTT.N > 0 {
 			rtts = append(rtts, fr.RTT)
 		}
+		raws = append(raws, fr)
 	}
 	out.TotalPowerWatts = power
 	out.Placed = int(placed + 0.5)
 	out.Rejected = int(rejected + 0.5)
 	out.QoSViolations = int(qos + 0.5)
 	out.RTT = exp.PoolSummaries(rtts)
+	// Unlike RTT, which averages each rep's (already averaged) quantile
+	// vector, ExactRTT re-summarizes the union of every rep's raw
+	// observations — the quantiles of the pooled distribution itself.
+	out.ExactRTT = exactPooledRTT(raws)
 	return out
 }
 

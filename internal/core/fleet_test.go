@@ -6,6 +6,7 @@ import (
 	"pictor/internal/app"
 	"pictor/internal/exp"
 	"pictor/internal/fleet"
+	"pictor/internal/stats"
 )
 
 func quickFleetConfig() ExperimentConfig {
@@ -206,5 +207,48 @@ func TestFleetTrialKeys(t *testing.T) {
 	}
 	if a.Key() != exp.FleetTrial(exp.FleetShape{Machines: 2, Policy: "roundrobin", Requests: 4}).Key() {
 		t.Fatal("identical shapes must share a key")
+	}
+}
+
+// TestMergeFleetExactPooledRTT pins the difference between the two
+// cross-rep RTT aggregates on a known two-rep case: RTT averages each
+// rep's quantile vector, so its P75 of {ten 10ms observations} and
+// {ten 100ms observations} is the midpoint 55 — but the pooled
+// 20-observation distribution's actual P75 is 100, which is what
+// ExactRTT must report.
+func TestMergeFleetExactPooledRTT(t *testing.T) {
+	rep := func(value float64) TrialResult {
+		var s stats.Sample
+		raw := make([]float64, 10)
+		for i := range raw {
+			raw[i] = value
+		}
+		s.AddAll(raw)
+		return TrialResult{Fleet: &FleetResult{
+			RTT:      s.Summarize(),
+			Machines: []MachineResult{{RawRTT: raw, RTT: s.Summarize()}},
+		}}
+	}
+	merged := mergeFleet([]TrialResult{rep(10), rep(100)})
+	if merged.RepsMerged != 2 {
+		t.Fatalf("RepsMerged = %d, want 2", merged.RepsMerged)
+	}
+	if merged.RTT.P75 != 55 {
+		t.Fatalf("averaged-quantile P75 = %v, want 55 (mean of the per-rep P75s)", merged.RTT.P75)
+	}
+	if merged.ExactRTT.P75 != 100 {
+		t.Fatalf("exact pooled P75 = %v, want 100 (the pooled distribution's quantile)", merged.ExactRTT.P75)
+	}
+	if merged.ExactRTT.N != 20 {
+		t.Fatalf("exact pooled N = %d, want all 20 observations", merged.ExactRTT.N)
+	}
+	if merged.ExactRTT.Mean != 55 {
+		t.Fatalf("exact pooled mean = %v, want 55", merged.ExactRTT.Mean)
+	}
+	// Single-execution path: ExactRTT is filled by executeFleet's
+	// exactPooledRTT over one result — cover the helper directly.
+	one := rep(10).Fleet
+	if got := exactPooledRTT([]*FleetResult{one}); got.P75 != 10 || got.N != 10 {
+		t.Fatalf("single-result exact pool = %+v, want P75=10 N=10", got)
 	}
 }

@@ -24,6 +24,12 @@ type LSTM struct {
 	// Inference scratch (reused across Steps outside training; BPTT
 	// needs per-step copies, so training allocates as before).
 	sPrevH, sPrevC, sZi, sZf, sZg, sZo []float64
+
+	// freeSteps recycles the per-step BPTT cache slices between
+	// sequences: Reset moves the previous sequence's caches here and
+	// Step pops from it before allocating. Every recycled slice is
+	// fully overwritten before use, so training is unaffected.
+	freeSteps [][]float64
 }
 
 // NewLSTM creates an LSTM with forget-gate bias initialized positive
@@ -58,8 +64,27 @@ func (l *LSTM) Reset() {
 			l.c[i] = 0
 		}
 	}
-	l.xs, l.hs, l.cs = nil, nil, nil
-	l.gi, l.gf, l.gg, l.go_ = nil, nil, nil, nil
+	for _, seq := range [][][]float64{l.xs, l.hs, l.cs, l.gi, l.gf, l.gg, l.go_} {
+		l.freeSteps = append(l.freeSteps, seq...)
+	}
+	l.xs, l.hs, l.cs = l.xs[:0], l.hs[:0], l.cs[:0]
+	l.gi, l.gf, l.gg, l.go_ = l.gi[:0], l.gf[:0], l.gg[:0], l.go_[:0]
+}
+
+// takeStep pops a recycled BPTT cache slice of length n (or allocates
+// one). The caller fully overwrites it.
+func (l *LSTM) takeStep(n int) []float64 {
+	for i := len(l.freeSteps) - 1; i >= 0; i-- {
+		s := l.freeSteps[i]
+		if cap(s) >= n {
+			last := len(l.freeSteps) - 1
+			l.freeSteps[i] = l.freeSteps[last]
+			l.freeSteps[last] = nil
+			l.freeSteps = l.freeSteps[:last]
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
 }
 
 // SetTraining switches BPTT caching on or off.
@@ -74,26 +99,61 @@ func (l *LSTM) Step(x []float64) []float64 {
 	if len(x) != l.InSize {
 		panic("nn: LSTM input size mismatch")
 	}
-	cols := l.InSize + l.Hidden + 1
-	var prevH, prevC, zi, zf, zg, zo []float64
 	if l.training {
-		// BPTT retains these per step; they must be fresh allocations.
-		prevH = append([]float64(nil), l.h...)
-		prevC = append([]float64(nil), l.c...)
-		zi = make([]float64, l.Hidden)
-		zf = make([]float64, l.Hidden)
-		zg = make([]float64, l.Hidden)
-		zo = make([]float64, l.Hidden)
+		// BPTT retains these per step; each is private to the step
+		// (freshly allocated or recycled from a finished sequence).
+		prevH := l.takeStep(l.Hidden)
+		copy(prevH, l.h)
+		prevC := l.takeStep(l.Hidden)
+		copy(prevC, l.c)
+		zi := l.takeStep(l.Hidden)
+		zf := l.takeStep(l.Hidden)
+		zg := l.takeStep(l.Hidden)
+		zo := l.takeStep(l.Hidden)
+		l.stepCore(l.h, l.c, x, prevH, prevC, zi, zf, zg, zo)
+		xc := l.takeStep(l.InSize)
+		copy(xc, x)
+		l.xs = append(l.xs, xc)
+		l.hs = append(l.hs, prevH)
+		l.cs = append(l.cs, prevC)
+		l.gi = append(l.gi, zi)
+		l.gf = append(l.gf, zf)
+		l.gg = append(l.gg, zg)
+		l.go_ = append(l.go_, zo)
 	} else {
-		l.sPrevH = append(l.sPrevH[:0], l.h...)
-		l.sPrevC = append(l.sPrevC[:0], l.c...)
-		prevH, prevC = l.sPrevH, l.sPrevC
-		l.sZi = grow(l.sZi, l.Hidden)
-		l.sZf = grow(l.sZf, l.Hidden)
-		l.sZg = grow(l.sZg, l.Hidden)
-		l.sZo = grow(l.sZo, l.Hidden)
-		zi, zf, zg, zo = l.sZi, l.sZf, l.sZg, l.sZo
+		l.StepState(l.h, l.c, x)
 	}
+	return l.h
+}
+
+// StepState advances one inference step over caller-provided state rows
+// h and c (each Hidden long), updating them in place. This is the
+// batched entry point: many sessions can share one weight-holding LSTM,
+// each owning only its two state rows, and the gate math is the exact
+// code Step runs — batched and per-session results are bit-identical by
+// construction. Uses the layer's owned scratch; not valid while
+// training (no BPTT caches are recorded).
+func (l *LSTM) StepState(h, c, x []float64) {
+	if len(x) != l.InSize {
+		panic("nn: LSTM input size mismatch")
+	}
+	if len(h) != l.Hidden || len(c) != l.Hidden {
+		panic("nn: LSTM state size mismatch")
+	}
+	l.sPrevH = append(l.sPrevH[:0], h...)
+	l.sPrevC = append(l.sPrevC[:0], c...)
+	l.sZi = grow(l.sZi, l.Hidden)
+	l.sZf = grow(l.sZf, l.Hidden)
+	l.sZg = grow(l.sZg, l.Hidden)
+	l.sZo = grow(l.sZo, l.Hidden)
+	l.stepCore(h, c, x, l.sPrevH, l.sPrevC, l.sZi, l.sZf, l.sZg, l.sZo)
+}
+
+// stepCore is the shared gate math: reads prevH/prevC (copies of the
+// pre-step state), writes the new state into h and c, and records gate
+// activations into zi/zf/zg/zo.
+func (l *LSTM) stepCore(h, c, x, prevH, prevC, zi, zf, zg, zo []float64) {
+	cols := l.InSize + l.Hidden + 1
 	for j := 0; j < l.Hidden; j++ {
 		// Row slices per gate (the widx arithmetic hoisted out of the
 		// inner loops; accumulation order is unchanged).
@@ -130,20 +190,9 @@ func (l *LSTM) Step(x []float64) []float64 {
 		zf[j] = sigmoid(sf)
 		zg[j] = math.Tanh(sg)
 		zo[j] = sigmoid(so)
-		l.c[j] = zf[j]*prevC[j] + zi[j]*zg[j]
-		l.h[j] = zo[j] * math.Tanh(l.c[j])
+		c[j] = zf[j]*prevC[j] + zi[j]*zg[j]
+		h[j] = zo[j] * math.Tanh(c[j])
 	}
-
-	if l.training {
-		l.xs = append(l.xs, append([]float64(nil), x...))
-		l.hs = append(l.hs, prevH)
-		l.cs = append(l.cs, prevC)
-		l.gi = append(l.gi, zi)
-		l.gf = append(l.gf, zf)
-		l.gg = append(l.gg, zg)
-		l.go_ = append(l.go_, zo)
-	}
-	return l.h
 }
 
 // Backward runs BPTT over the cached sequence. dHs[t] is dLoss/dh at
@@ -155,62 +204,76 @@ func (l *LSTM) Backward(dHs [][]float64) {
 		panic("nn: BPTT gradient count mismatch")
 	}
 	cols := l.InSize + l.Hidden + 1
+	// Two pairs of state-gradient buffers, swapped each step (the values
+	// written as dhPrev/dcPrev at step t are read as dhNext/dcNext at
+	// t−1; no other step touches them, so reuse is safe).
 	dhNext := make([]float64, l.Hidden)
 	dcNext := make([]float64, l.Hidden)
+	dhPrev := make([]float64, l.Hidden)
+	dcPrev := make([]float64, l.Hidden)
+	dh := make([]float64, l.Hidden)
+	ct := make([]float64, l.Hidden)
 	for t := T - 1; t >= 0; t-- {
-		dh := make([]float64, l.Hidden)
+		xs, hs, cs := l.xs[t], l.hs[t], l.cs[t]
+		gi, gf, gg, go_ := l.gi[t], l.gf[t], l.gg[t], l.go_[t]
 		copy(dh, dHs[t])
 		for j := range dh {
 			dh[j] += dhNext[j]
 		}
 		// Recompute c_t from the caches.
-		ct := make([]float64, l.Hidden)
 		for j := 0; j < l.Hidden; j++ {
-			ct[j] = l.gf[t][j]*l.cs[t][j] + l.gi[t][j]*l.gg[t][j]
+			ct[j] = gf[j]*cs[j] + gi[j]*gg[j]
+			dhPrev[j] = 0
 		}
-		dhPrev := make([]float64, l.Hidden)
-		dcPrev := make([]float64, l.Hidden)
 		for j := 0; j < l.Hidden; j++ {
 			tanhC := math.Tanh(ct[j])
 			do := dh[j] * tanhC
-			dc := dh[j]*l.go_[t][j]*(1-tanhC*tanhC) + dcNext[j]
-			di := dc * l.gg[t][j]
-			dg := dc * l.gi[t][j]
-			df := dc * l.cs[t][j]
-			dcPrev[j] = dc * l.gf[t][j]
+			dc := dh[j]*go_[j]*(1-tanhC*tanhC) + dcNext[j]
+			di := dc * gg[j]
+			dg := dc * gi[j]
+			df := dc * cs[j]
+			dcPrev[j] = dc * gf[j]
 			// Pre-activation gradients.
-			pi := di * l.gi[t][j] * (1 - l.gi[t][j])
-			pf := df * l.gf[t][j] * (1 - l.gf[t][j])
-			pg := dg * (1 - l.gg[t][j]*l.gg[t][j])
-			po := do * l.go_[t][j] * (1 - l.go_[t][j])
+			pi := di * gi[j] * (1 - gi[j])
+			pf := df * gf[j] * (1 - gf[j])
+			pg := dg * (1 - gg[j]*gg[j])
+			po := do * go_[j] * (1 - go_[j])
+			// Per-gate weight/gradient rows (the widx arithmetic hoisted
+			// out of the inner loops; every += lands on the same element
+			// in the same order as before).
+			gI := l.w.G[(0*l.Hidden+j)*cols : (0*l.Hidden+j+1)*cols]
+			gF := l.w.G[(1*l.Hidden+j)*cols : (1*l.Hidden+j+1)*cols]
+			gG := l.w.G[(2*l.Hidden+j)*cols : (2*l.Hidden+j+1)*cols]
+			gO := l.w.G[(3*l.Hidden+j)*cols : (3*l.Hidden+j+1)*cols]
+			wI := l.w.W[(0*l.Hidden+j)*cols : (0*l.Hidden+j+1)*cols]
+			wF := l.w.W[(1*l.Hidden+j)*cols : (1*l.Hidden+j+1)*cols]
+			wG := l.w.W[(2*l.Hidden+j)*cols : (2*l.Hidden+j+1)*cols]
+			wO := l.w.W[(3*l.Hidden+j)*cols : (3*l.Hidden+j+1)*cols]
 			for k := 0; k < l.InSize; k++ {
-				xv := l.xs[t][k]
-				l.w.G[l.widx(0, j, k)] += pi * xv
-				l.w.G[l.widx(1, j, k)] += pf * xv
-				l.w.G[l.widx(2, j, k)] += pg * xv
-				l.w.G[l.widx(3, j, k)] += po * xv
+				xv := xs[k]
+				gI[k] += pi * xv
+				gF[k] += pf * xv
+				gG[k] += pg * xv
+				gO[k] += po * xv
 			}
 			for k := 0; k < l.Hidden; k++ {
-				hv := l.hs[t][k]
-				l.w.G[l.widx(0, j, l.InSize+k)] += pi * hv
-				l.w.G[l.widx(1, j, l.InSize+k)] += pf * hv
-				l.w.G[l.widx(2, j, l.InSize+k)] += pg * hv
-				l.w.G[l.widx(3, j, l.InSize+k)] += po * hv
-				dhPrev[k] += pi*l.w.W[l.widx(0, j, l.InSize+k)] +
-					pf*l.w.W[l.widx(1, j, l.InSize+k)] +
-					pg*l.w.W[l.widx(2, j, l.InSize+k)] +
-					po*l.w.W[l.widx(3, j, l.InSize+k)]
+				hv := hs[k]
+				kk := l.InSize + k
+				gI[kk] += pi * hv
+				gF[kk] += pf * hv
+				gG[kk] += pg * hv
+				gO[kk] += po * hv
+				dhPrev[k] += pi*wI[kk] + pf*wF[kk] + pg*wG[kk] + po*wO[kk]
 			}
-			l.w.G[l.widx(0, j, cols-1)] += pi
-			l.w.G[l.widx(1, j, cols-1)] += pf
-			l.w.G[l.widx(2, j, cols-1)] += pg
-			l.w.G[l.widx(3, j, cols-1)] += po
+			gI[cols-1] += pi
+			gF[cols-1] += pf
+			gG[cols-1] += pg
+			gO[cols-1] += po
 			// Gradient into x_t is not needed by Pictor (features are
 			// not learned upstream of the LSTM), so it is not computed.
-			_ = pi
 		}
-		dhNext = dhPrev
-		dcNext = dcPrev
+		dhNext, dhPrev = dhPrev, dhNext
+		dcNext, dcPrev = dcPrev, dcNext
 	}
 }
 

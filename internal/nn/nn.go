@@ -73,12 +73,31 @@ func growZero(buf []float64, n int) []float64 {
 	return buf
 }
 
+// ensureTensor reshapes t to the given shape, reusing its storage when
+// the capacity allows (batch sizes fluctuate tick to tick; the scratch
+// must not reallocate every time the batch shrinks). Contents are
+// unspecified — callers fully overwrite.
+func ensureTensor(t *tensor.Tensor, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if t == nil || cap(t.Data) < n {
+		return tensor.New(shape...)
+	}
+	t.Data = t.Data[:n]
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
 // Dense is a fully connected layer: y = Wx + b.
 type Dense struct {
-	In, Out int
-	w, b    *Param
-	lastX   []float64
-	out, dx []float64 // owned scratch, reused across calls
+	In, Out  int
+	w, b     *Param
+	lastX    []float64
+	out, dx  []float64      // owned scratch, reused across calls
+	wT       *tensor.Tensor // cached (Out, In) header over w.W
+	batchOut *tensor.Tensor // owned batch scratch
 }
 
 // NewDense creates a dense layer with fan-in initialization.
@@ -86,6 +105,15 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	d := &Dense{In: in, Out: out, w: newParam(in * out), b: newParam(out)}
 	d.w.initUniform(rng, in)
 	return d
+}
+
+// weightT returns the cached (Out, In) tensor view of the weights —
+// already the transposed-B layout MatMulTransBInto wants.
+func (d *Dense) weightT() *tensor.Tensor {
+	if d.wT == nil {
+		d.wT = tensor.FromSlice(d.w.W, d.Out, d.In)
+	}
+	return d.wT
 }
 
 // Forward implements Layer.
@@ -96,9 +124,31 @@ func (d *Dense) Forward(x []float64) []float64 {
 	d.lastX = append(d.lastX[:0], x...)
 	out := grow(d.out, d.Out)
 	d.out = out
-	for o := 0; o < d.Out; o++ {
-		row := d.w.W[o*d.In : (o+1)*d.In]
-		out[o] = d.b.W[o] + tensor.Dot(row, x)
+	tensor.MatVecInto(out, d.weightT(), x)
+	for o, bv := range d.b.W {
+		out[o] += bv
+	}
+	return out
+}
+
+// ForwardBatch maps a (B, In) batch to the layer-owned (B, Out) output
+// in one transposed matmul. Row r equals Forward(x row r) bit-for-bit:
+// the per-element summation order is Dot's, and the bias add commutes.
+// Inference only (no Backward cache); the result is overwritten by the
+// next ForwardBatch call.
+func (d *Dense) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dims() != 2 || x.Shape[1] != d.In {
+		panic("nn: Dense batch input shape mismatch")
+	}
+	bn := x.Shape[0]
+	out := ensureTensor(d.batchOut, bn, d.Out)
+	d.batchOut = out
+	tensor.MatMulTransBInto(out, x, d.weightT())
+	for r := 0; r < bn; r++ {
+		row := out.Data[r*d.Out : (r+1)*d.Out]
+		for o, bv := range d.b.W {
+			row[o] += bv
+		}
 	}
 	return out
 }
@@ -147,6 +197,18 @@ func (r *ReLU) Forward(x []float64) []float64 {
 	return out
 }
 
+// ForwardBatch applies the activation elementwise in place and returns
+// x (ReLU needs no scratch; max(0, v) is exact). Inference only — no
+// Backward cache is recorded.
+func (r *ReLU) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	for i, v := range x.Data {
+		if !(v > 0) { // matches Forward exactly, including NaN → 0
+			x.Data[i] = 0
+		}
+	}
+	return x
+}
+
 // Backward implements Layer.
 func (r *ReLU) Backward(grad []float64) []float64 {
 	dx := grow(r.dx, len(grad))
@@ -171,7 +233,8 @@ type Conv2D struct {
 	w, b               *Param
 	lastCols           *tensor.Tensor
 	out, dcols, dx     []float64      // owned scratch, reused across calls
-	inT, kmat          *tensor.Tensor // cached headers (no per-call FromSlice)
+	inT, kmat, outT    *tensor.Tensor // cached headers (no per-call FromSlice)
+	batchOut           *tensor.Tensor // owned batch scratch
 }
 
 // NewConv2D creates a convolution layer.
@@ -191,6 +254,26 @@ func (c *Conv2D) OutW() int { return c.W - c.K + 1 }
 // OutLen reports the flattened output length.
 func (c *Conv2D) OutLen() int { return c.OutH() * c.OutW() * c.OutC }
 
+// kernelMat returns the cached (OutC, K·K·InC) tensor view of the
+// kernel weights — the transposed-B operand of the im2col matmul.
+func (c *Conv2D) kernelMat() *tensor.Tensor {
+	if c.kmat == nil {
+		c.kmat = tensor.FromSlice(c.w.W, c.OutC, c.K*c.K*c.InC)
+	}
+	return c.kmat
+}
+
+// addBias adds the per-channel bias to every row of a (rows, OutC)
+// output block.
+func (c *Conv2D) addBias(out []float64, rows int) {
+	for r := 0; r < rows; r++ {
+		row := out[r*c.OutC : (r+1)*c.OutC]
+		for o, bv := range c.b.W {
+			row[o] += bv
+		}
+	}
+}
+
 // Forward implements Layer. Input is flattened (H, W, C); output is
 // flattened (OutH, OutW, OutC).
 func (c *Conv2D) Forward(x []float64) []float64 {
@@ -200,23 +283,134 @@ func (c *Conv2D) Forward(x []float64) []float64 {
 	if c.lastCols == nil {
 		c.lastCols = tensor.New(c.OutH()*c.OutW(), c.K*c.K*c.InC)
 		c.inT = tensor.FromSlice(x, c.H, c.W, c.InC)
-		c.kmat = tensor.FromSlice(c.w.W, c.OutC, c.K*c.K*c.InC)
 	}
 	in := c.inT // cached header; rebind the data to this call's input
 	in.Data = x
 	cols := c.lastCols // (outH*outW, K*K*InC), reused across frames
 	tensor.Im2ColInto(cols, in, c.K, c.K)
-	kmat := c.kmat
-	rows, depth := cols.Shape[0], cols.Shape[1]
+	rows := cols.Shape[0]
 	out := grow(c.out, rows*c.OutC)
 	c.out = out
-	for r := 0; r < rows; r++ {
-		patch := cols.Data[r*depth : (r+1)*depth]
-		for o := 0; o < c.OutC; o++ {
-			out[r*c.OutC+o] = c.b.W[o] + tensor.Dot(kmat.Data[o*depth:(o+1)*depth], patch)
+	if c.outT == nil {
+		c.outT = tensor.FromSlice(out, rows, c.OutC)
+	}
+	c.outT.Data = out // rebind in case grow reallocated
+	tensor.MatMulTransBInto(c.outT, cols, c.kernelMat())
+	c.addBias(out, rows)
+	return out
+}
+
+// ForwardBatch convolves a (B, H, W, C) batch directly (no column
+// matrix is materialized), returning the layer-owned (B·OutH·OutW,
+// OutC) output: frame b's rows occupy the contiguous block starting at
+// b·OutH·OutW, equal bit-for-bit to Forward on that frame alone.
+// Inference only; the result is overwritten by the next ForwardBatch
+// call.
+func (c *Conv2D) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	return c.forwardBatch(x, false)
+}
+
+// ForwardBatchReLU is ForwardBatch with the ReLU activation fused into
+// the output store — one pass instead of a convolve pass plus an
+// elementwise rewrite of the whole block. Identical bits to
+// ForwardBatch followed by ReLU.ForwardBatch.
+func (c *Conv2D) ForwardBatchReLU(x *tensor.Tensor) *tensor.Tensor {
+	return c.forwardBatch(x, true)
+}
+
+func (c *Conv2D) forwardBatch(x *tensor.Tensor, relu bool) *tensor.Tensor {
+	if x.Dims() != 4 || x.Shape[1] != c.H || x.Shape[2] != c.W || x.Shape[3] != c.InC {
+		panic("nn: Conv2D batch input shape mismatch")
+	}
+	bn := x.Shape[0]
+	rows := bn * c.OutH() * c.OutW()
+	out := ensureTensor(c.batchOut, rows, c.OutC)
+	c.batchOut = out
+	c.convDirect(out.Data, x.Data, bn, relu)
+	return out
+}
+
+// convDirect convolves `frames` stacked (H, W, C) frames in src into
+// dst ((frames·OutH·OutW, OutC) row-major). Per output element it
+// accumulates the K·K·InC products in exactly im2col row order (ky-
+// major, then kx·c), then adds the channel bias, then optionally
+// applies ReLU — bit-identical to the im2col → MatMulTransBInto →
+// addBias → ReLU pipeline it replaces, without writing and re-reading
+// the (rows, K·K·InC) column matrix.
+func (c *Conv2D) convDirect(dst, src []float64, frames int, relu bool) {
+	oh, ow := c.OutH(), c.OutW()
+	kw := c.K * c.InC // receptive-field row-segment width
+	kmat := c.w.W     // (OutC, K·K·InC) row-major
+	bias := c.b.W
+	frameLen := c.H * c.W * c.InC
+	rowStride := c.W * c.InC
+	di := 0
+	if c.K == 3 && c.InC == 1 {
+		// The detect geometry (3×3 kernel over one channel): the nine
+		// receptive-field taps are loaded once per position and the
+		// nine-term dot is fully unrolled in im2col row order.
+		for f := 0; f < frames; f++ {
+			fr := src[f*frameLen : (f+1)*frameLen]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					base := oy*rowStride + ox
+					r0 := fr[base : base+3]
+					r1 := fr[base+rowStride : base+rowStride+3]
+					r2 := fr[base+2*rowStride : base+2*rowStride+3]
+					p0, p1, p2 := r0[0], r0[1], r0[2]
+					p3, p4, p5 := r1[0], r1[1], r1[2]
+					p6, p7, p8 := r2[0], r2[1], r2[2]
+					for oc := 0; oc < c.OutC; oc++ {
+						k := kmat[oc*9 : oc*9+9]
+						// Nine sequential += terms, matching Dot's
+						// accumulation (including its 0 start) exactly.
+						var s float64
+						s += p0 * k[0]
+						s += p1 * k[1]
+						s += p2 * k[2]
+						s += p3 * k[3]
+						s += p4 * k[4]
+						s += p5 * k[5]
+						s += p6 * k[6]
+						s += p7 * k[7]
+						s += p8 * k[8]
+						s += bias[oc]
+						if relu && !(s > 0) {
+							s = 0
+						}
+						dst[di+oc] = s
+					}
+					di += c.OutC
+				}
+			}
+		}
+		return
+	}
+	for f := 0; f < frames; f++ {
+		fr := src[f*frameLen : (f+1)*frameLen]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				base := oy*rowStride + ox*c.InC
+				for oc := 0; oc < c.OutC; oc++ {
+					krow := kmat[oc*c.K*kw : (oc+1)*c.K*kw]
+					var s float64
+					for ky := 0; ky < c.K; ky++ {
+						seg := fr[base+ky*rowStride : base+ky*rowStride+kw]
+						kk := krow[ky*kw : ky*kw+kw]
+						for i, v := range seg {
+							s += v * kk[i]
+						}
+					}
+					s += bias[oc]
+					if relu && !(s > 0) {
+						s = 0
+					}
+					dst[di+oc] = s
+				}
+				di += c.OutC
+			}
 		}
 	}
-	return out
 }
 
 // Backward implements Layer. For compactness it propagates gradients to
@@ -271,9 +465,10 @@ func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
 
 // MaxPool2 is 2×2 max pooling with stride 2 over an (H, W, C) input.
 type MaxPool2 struct {
-	H, W, C int
-	argmax  []int
-	out, dx []float64 // owned scratch, reused across calls
+	H, W, C  int
+	argmax   []int
+	out, dx  []float64      // owned scratch, reused across calls
+	batchOut *tensor.Tensor // owned batch scratch
 }
 
 // NewMaxPool2 creates the pooling layer; H and W must be even.
@@ -327,6 +522,51 @@ func (p *MaxPool2) Forward(x []float64) []float64 {
 		}
 	}
 	return out
+}
+
+// ForwardBatch pools B frames packed contiguously in x (any tensor
+// whose flat length is a multiple of H·W·C), returning the layer-owned
+// (B, OutLen) output. Max selection is exact, so each row equals
+// Forward on that frame bit-for-bit. Inference only: no argmax is
+// recorded, and the result is overwritten by the next call.
+func (p *MaxPool2) ForwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	frameLen := p.H * p.W * p.C
+	if x.Len()%frameLen != 0 {
+		panic("nn: MaxPool2 batch input not a whole number of frames")
+	}
+	bn := x.Len() / frameLen
+	outLen := p.OutLen()
+	outT := ensureTensor(p.batchOut, bn, outLen)
+	p.batchOut = outT
+	oh, ow := p.H/2, p.W/2
+	for b := 0; b < bn; b++ {
+		in := x.Data[b*frameLen : (b+1)*frameLen]
+		out := outT.Data[b*outLen : (b+1)*outLen]
+		for oy := 0; oy < oh; oy++ {
+			rowTop := oy * 2 * p.W * p.C
+			rowBot := rowTop + p.W*p.C
+			for ox := 0; ox < ow; ox++ {
+				i00 := rowTop + ox*2*p.C
+				o := (oy*ow + ox) * p.C
+				for ch := 0; ch < p.C; ch++ {
+					a := i00 + ch
+					best := in[a]
+					if v := in[a+p.C]; v > best {
+						best = v
+					}
+					c := rowBot + ox*2*p.C + ch
+					if v := in[c]; v > best {
+						best = v
+					}
+					if v := in[c+p.C]; v > best {
+						best = v
+					}
+					out[o+ch] = best
+				}
+			}
+		}
+	}
+	return outT
 }
 
 // Backward implements Layer.

@@ -18,6 +18,23 @@ func init() {
 	}
 }
 
+// The dither LCG: n' = n·K + C (mod 2⁶⁴). The render loop is tiled
+// 4-wide, so it needs the 1..4-step stride constants: advancing i steps
+// is n·Kᵢ + Cᵢ with Kᵢ = Kⁱ and Cᵢ = C·(Kⁱ⁻¹+…+1), exact in uint64
+// wrap-around arithmetic — the generated sequence is bit-identical to
+// stepping one pixel at a time. (vars, not consts: the products
+// overflow Go's arbitrary-precision constant arithmetic.)
+var (
+	ditherK1 = uint64(6364136223846793005)
+	ditherC1 = uint64(1442695040888963407)
+	ditherK2 = ditherK1 * ditherK1
+	ditherC2 = ditherC1*ditherK1 + ditherC1
+	ditherK3 = ditherK2 * ditherK1
+	ditherC3 = ditherC2*ditherK1 + ditherC1
+	ditherK4 = ditherK3 * ditherK1
+	ditherC4 = ditherC3*ditherK1 + ditherC1
+)
+
 func init() {
 	set := func(t Type, rows [CellPx]string) {
 		for y, row := range rows {
@@ -231,9 +248,25 @@ func (s *Scene) Render(seq int64, width, height int) *Frame {
 	// on random dither signs). v is never NaN and never −0 (a float sum
 	// that cancels rounds to +0), so this is exactly the old
 	// if-v<0/else-if-v>1 clamp.
+	// The loop is tiled 4 pixels wide: the LCG's loop-carried multiply
+	// chain is the bottleneck, and the stride constants let all four
+	// lane states derive from one base value in parallel (exact modular
+	// arithmetic — see the constants above), quartering the chain.
 	n := uint64(s.tick)*2654435761 + 12345
-	for i := range px {
-		n = n*6364136223846793005 + 1442695040888963407
+	i := 0
+	for ; i+4 <= len(px); i += 4 {
+		n1 := n*ditherK1 + ditherC1
+		n2 := n*ditherK2 + ditherC2
+		n3 := n*ditherK3 + ditherC3
+		n4 := n*ditherK4 + ditherC4
+		px[i] = min(1, max(0, px[i]+ditherTab[n1>>40&0xFF]))
+		px[i+1] = min(1, max(0, px[i+1]+ditherTab[n2>>40&0xFF]))
+		px[i+2] = min(1, max(0, px[i+2]+ditherTab[n3>>40&0xFF]))
+		px[i+3] = min(1, max(0, px[i+3]+ditherTab[n4>>40&0xFF]))
+		n = n4
+	}
+	for ; i < len(px); i++ {
+		n = n*ditherK1 + ditherC1
 		px[i] = min(1, max(0, px[i]+ditherTab[n>>40&0xFF]))
 	}
 	f.Seq = seq

@@ -13,17 +13,6 @@ func randTensor(rng *rand.Rand, shape ...int) *Tensor {
 	return t
 }
 
-func BenchmarkMatMul(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	a := randTensor(rng, 36, 9)
-	c := randTensor(rng, 9, 6)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MatMul(a, c)
-	}
-}
-
 func BenchmarkMatMulInto(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	a := randTensor(rng, 36, 9)
@@ -36,13 +25,30 @@ func BenchmarkMatMulInto(b *testing.B) {
 	}
 }
 
-func BenchmarkIm2Col(b *testing.B) {
+// The Conv2D hot shape: one cell's im2col rows against the transposed
+// kernel matrix (36×9 · (6×9)ᵀ).
+func BenchmarkMatMulTransB(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	in := randTensor(rng, 8, 8, 1)
+	a := randTensor(rng, 36, 9)
+	c := randTensor(rng, 6, 9)
+	out := New(36, 6)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Im2Col(in, 3, 3)
+		MatMulTransBInto(out, a, c)
+	}
+}
+
+// The batched Conv2D shape: 32 sessions' cells in one matmul.
+func BenchmarkMatMulTransBBatch32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 32*36, 9)
+	c := randTensor(rng, 6, 9)
+	out := New(32*36, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransBInto(out, a, c)
 	}
 }
 

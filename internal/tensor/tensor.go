@@ -97,6 +97,9 @@ func (t *Tensor) Scale(a float64) {
 }
 
 // MatMul computes the 2-D product a(m×k) · b(k×n) → (m×n).
+//
+// Allocating convenience wrapper for tests and one-off call sites; hot
+// code uses MatMulInto / MatMulTransBInto with caller-owned output.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic("tensor: MatMul needs 2-D operands")
@@ -140,27 +143,115 @@ func MatMulInto(out, a, b *Tensor) {
 	}
 }
 
-// MatVec computes the product a(m×k) · x(k) → (m).
-func MatVec(a *Tensor, x []float64) []float64 {
-	if a.Dims() != 2 || a.Shape[1] != len(x) {
-		panic("tensor: MatVec shape mismatch")
+// MatMulTransBInto computes a(m×k) · bᵀ into out(m×n), where b is
+// stored pre-transposed as (n×k) so both operands stream row-major.
+// Each output element is an independent sequential dot product over k —
+// the same summation order as Dot — so results are bit-identical to
+// per-row Dot calls regardless of tiling.
+//
+// The inner loops are register-tiled 2 rows × 4 columns: eight scalar
+// accumulators live across the k-loop, which the Go compiler keeps in
+// registers, amortizing each a-element load over four b-rows. out is
+// fully overwritten and must not alias a or b.
+func MatMulTransBInto(out, a, b *Tensor) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMulTransBInto needs 2-D operands")
 	}
 	m, k := a.Shape[0], a.Shape[1]
-	out := make([]float64, m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*k : (i+1)*k]
-		var s float64
-		for p, v := range row {
-			s += v * x[p]
-		}
-		out[i] = s
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto inner dims %d vs %d", k, k2))
 	}
-	return out
+	if out.Dims() != 2 || out.Shape[0] != m || out.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto out shape %v, want [%d %d]", out.Shape, m, n))
+	}
+	ad, bd, od := a.Data, b.Data, out.Data
+	i := 0
+	for ; i+2 <= m; i += 2 {
+		a0 := ad[i*k : i*k+k]
+		a1 := ad[(i+1)*k : (i+1)*k+k]
+		o0 := od[i*n : i*n+n]
+		o1 := od[(i+1)*n : (i+1)*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := bd[j*k : j*k+k]
+			b1 := bd[(j+1)*k : (j+1)*k+k]
+			b2 := bd[(j+2)*k : (j+2)*k+k]
+			b3 := bd[(j+3)*k : (j+3)*k+k]
+			var s00, s01, s02, s03 float64
+			var s10, s11, s12, s13 float64
+			for p := 0; p < k; p++ {
+				av0, av1 := a0[p], a1[p]
+				bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+				s00 += av0 * bv0
+				s01 += av0 * bv1
+				s02 += av0 * bv2
+				s03 += av0 * bv3
+				s10 += av1 * bv0
+				s11 += av1 * bv1
+				s12 += av1 * bv2
+				s13 += av1 * bv3
+			}
+			o0[j], o0[j+1], o0[j+2], o0[j+3] = s00, s01, s02, s03
+			o1[j], o1[j+1], o1[j+2], o1[j+3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			brow := bd[j*k : j*k+k]
+			var s0, s1 float64
+			for p := 0; p < k; p++ {
+				bv := brow[p]
+				s0 += a0[p] * bv
+				s1 += a1[p] * bv
+			}
+			o0[j], o1[j] = s0, s1
+		}
+	}
+	for ; i < m; i++ {
+		arow := ad[i*k : i*k+k]
+		orow := od[i*n : i*n+n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := bd[j*k : j*k+k]
+			b1 := bd[(j+1)*k : (j+1)*k+k]
+			b2 := bd[(j+2)*k : (j+2)*k+k]
+			b3 := bd[(j+3)*k : (j+3)*k+k]
+			var s0, s1, s2, s3 float64
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			orow[j] = Dot(arow, bd[j*k:j*k+k])
+		}
+	}
+}
+
+// MatVecInto computes a(m×k) · x(k) into dst(m), reusing dst's storage.
+// dst is fully overwritten and must not alias a or x.
+func MatVecInto(dst []float64, a *Tensor, x []float64) {
+	if a.Dims() != 2 || a.Shape[1] != len(x) {
+		panic("tensor: MatVecInto shape mismatch")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	if len(dst) != m {
+		panic(fmt.Sprintf("tensor: MatVecInto dst length %d, want %d", len(dst), m))
+	}
+	for i := 0; i < m; i++ {
+		dst[i] = Dot(a.Data[i*k:(i+1)*k], x)
+	}
 }
 
 // Im2Col unrolls an (H, W, C) input into a matrix whose rows are the
 // kh×kw×C receptive fields of each valid output position, in row-major
 // output order. Convolution then reduces to one MatMul.
+//
+// Allocating convenience wrapper for tests and one-off call sites; hot
+// code uses Im2ColInto / Im2ColBatchInto with caller-owned output.
 func Im2Col(input *Tensor, kh, kw int) *Tensor {
 	if input.Dims() != 3 {
 		panic("tensor: Im2Col needs an (H, W, C) input")
@@ -190,18 +281,59 @@ func Im2ColInto(out, input *Tensor, kh, kw int) {
 	if out.Dims() != 2 || out.Shape[0] != oh*ow || out.Shape[1] != kh*kw*c {
 		panic(fmt.Sprintf("tensor: Im2ColInto out shape %v, want [%d %d]", out.Shape, oh*ow, kh*kw*c))
 	}
-	row := 0
+	im2colRows(out.Data, input.Data, 0, h, w, c, kh, kw)
+}
+
+// im2colRows writes one frame's receptive-field rows into dst starting
+// at row `row` (each row kh·kw·c wide). The kw·c-wide row segments are
+// hand-copied when narrow: at the common kernel widths a memmove call
+// costs more than the move itself, and this loop runs for every cell of
+// every frame of every trial (and every training patch).
+func im2colRows(dst, src []float64, row, h, w, c, kh, kw int) {
+	oh, ow := h-kh+1, w-kw+1
+	n := kw * c
+	depth := kh * n
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
-			col := 0
+			col := row * depth
 			for ky := 0; ky < kh; ky++ {
 				srcOff := ((oy+ky)*w + ox) * c
-				n := kw * c
-				copy(out.Data[row*out.Shape[1]+col:row*out.Shape[1]+col+n], input.Data[srcOff:srcOff+n])
+				if n == 3 {
+					dst[col] = src[srcOff]
+					dst[col+1] = src[srcOff+1]
+					dst[col+2] = src[srcOff+2]
+				} else {
+					copy(dst[col:col+n], src[srcOff:srcOff+n])
+				}
 				col += n
 			}
 			row++
 		}
+	}
+}
+
+// Im2ColBatchInto unrolls a (B, H, W, C) batch into one
+// (B·oh·ow, kh·kw·C) matrix: frame b's receptive-field rows occupy the
+// contiguous block starting at row b·oh·ow, each laid out exactly as
+// Im2ColInto would lay them for that frame alone. One downstream matmul
+// then convolves the whole batch. Every element of out is overwritten.
+func Im2ColBatchInto(out, input *Tensor, kh, kw int) {
+	if input.Dims() != 4 {
+		panic("tensor: Im2ColBatchInto needs a (B, H, W, C) input")
+	}
+	bn, h, w, c := input.Shape[0], input.Shape[1], input.Shape[2], input.Shape[3]
+	oh, ow := h-kh+1, w-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic("tensor: kernel larger than input")
+	}
+	depth := kh * kw * c
+	if out.Dims() != 2 || out.Shape[0] != bn*oh*ow || out.Shape[1] != depth {
+		panic(fmt.Sprintf("tensor: Im2ColBatchInto out shape %v, want [%d %d]", out.Shape, bn*oh*ow, depth))
+	}
+	frameLen := h * w * c
+	for b := 0; b < bn; b++ {
+		frame := input.Data[b*frameLen : (b+1)*frameLen]
+		im2colRows(out.Data, frame, b*oh*ow, h, w, c, kh, kw)
 	}
 }
 

@@ -105,12 +105,75 @@ func TestMatMulShapeMismatchPanics(t *testing.T) {
 	MatMul(New(2, 3), New(2, 3))
 }
 
-func TestMatVec(t *testing.T) {
+func TestMatVecInto(t *testing.T) {
 	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
-	got := MatVec(a, []float64{1, 0, -1})
+	got := make([]float64, 2)
+	MatVecInto(got, a, []float64{1, 0, -1})
 	if got[0] != -2 || got[1] != -2 {
-		t.Fatalf("MatVec = %v, want [-2 -2]", got)
+		t.Fatalf("MatVecInto = %v, want [-2 -2]", got)
 	}
+}
+
+func TestMatVecIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dst length mismatch did not panic")
+		}
+	}()
+	MatVecInto(make([]float64, 3), New(2, 3), make([]float64, 3))
+}
+
+// MatMulTransBInto must match per-row Dot calls bit-for-bit across all
+// tile paths: 2×4 body, leftover row, leftover columns. Shapes are
+// chosen so every remainder branch executes.
+func TestMatMulTransBBitIdenticalToDot(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 4, 9}, {3, 5, 7}, {36, 6, 9}, {5, 9, 3}, {4, 4, 1}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a, b := New(m, k), New(n, k)
+		seed := 1.0
+		for i := range a.Data {
+			seed = math.Mod(seed*997+13, 1009)
+			a.Data[i] = seed/100 - 5
+		}
+		for i := range b.Data {
+			seed = math.Mod(seed*991+7, 1013)
+			b.Data[i] = seed/100 - 5
+		}
+		out := New(m, n)
+		MatMulTransBInto(out, a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want := Dot(a.Data[i*k:(i+1)*k], b.Data[j*k:(j+1)*k])
+				if out.At(i, j) != want {
+					t.Fatalf("m=%d n=%d k=%d: out[%d][%d] = %v, want Dot = %v", m, n, k, i, j, out.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulTransBMatchesMatMul(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	// b transposed to (2, 3) row-major.
+	bt := FromSlice([]float64{7, 9, 11, 8, 10, 12}, 2, 3)
+	want := MatMul(a, b)
+	got := New(2, 2)
+	MatMulTransBInto(got, a, bt)
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("MatMulTransBInto = %v, want %v", got.Data, want.Data)
+		}
+	}
+}
+
+func TestMatMulTransBShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inner-dim mismatch did not panic")
+		}
+	}()
+	MatMulTransBInto(New(2, 2), New(2, 3), New(2, 4))
 }
 
 func TestIm2Col(t *testing.T) {
@@ -150,6 +213,43 @@ func TestIm2ColMultiChannel(t *testing.T) {
 	if cols.At(0, 0) != 1 || cols.At(0, 1) != 2 {
 		t.Fatal("channel interleave wrong")
 	}
+}
+
+// A batched im2col over B frames must produce, per frame, exactly the
+// rows Im2ColInto produces for that frame alone.
+func TestIm2ColBatchMatchesSingle(t *testing.T) {
+	const bn, h, w, c, kh, kw = 3, 4, 5, 2, 2, 3
+	oh, ow := h-kh+1, w-kw+1
+	batch := New(bn, h, w, c)
+	for i := range batch.Data {
+		batch.Data[i] = float64(i)*0.5 - 7
+	}
+	out := New(bn*oh*ow, kh*kw*c)
+	Im2ColBatchInto(out, batch, kh, kw)
+
+	frameLen := h * w * c
+	single := New(oh*ow, kh*kw*c)
+	for b := 0; b < bn; b++ {
+		frame := FromSlice(batch.Data[b*frameLen:(b+1)*frameLen], h, w, c)
+		Im2ColInto(single, frame, kh, kw)
+		for r := 0; r < oh*ow; r++ {
+			for col := 0; col < kh*kw*c; col++ {
+				if out.At(b*oh*ow+r, col) != single.At(r, col) {
+					t.Fatalf("frame %d row %d col %d: batch %v != single %v",
+						b, r, col, out.At(b*oh*ow+r, col), single.At(r, col))
+				}
+			}
+		}
+	}
+}
+
+func TestIm2ColBatchShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong out shape did not panic")
+		}
+	}()
+	Im2ColBatchInto(New(2, 2), New(2, 3, 3, 1), 2, 2)
 }
 
 func TestSoftmax(t *testing.T) {

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fail when a pinned hot benchmark regresses against the committed
+numbers.
+
+Usage: benchguard.py BENCH_OUTPUT_FILE JSON_PATH [SECTION]
+
+Compares the fresh `go test -bench` output against the given section of
+BENCH_single_trial.json (default "current") and exits non-zero if any
+pinned benchmark's ns/op regressed by more than the tolerance
+(BENCH_GUARD_TOLERANCE, default 0.20 = 20%).
+
+Only the pinned set below is enforced: these are the per-frame hot
+leaves whose cost the evaluation's wall-clock floor is built on, and
+they are stable enough (no allocation churn, no I/O) that a >20% move
+is a code regression, not noise. Benchmarks missing on either side are
+reported but do not fail the guard, so the pin set and the recorded
+JSON can evolve independently.
+"""
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from benchjson import parse  # noqa: E402  (shared bench-line parser)
+
+PINNED = [
+    "BenchmarkSceneRender",
+    "BenchmarkDetect",
+    "BenchmarkBatchDetect/B8",
+    "BenchmarkMatMulTransB",
+    "BenchmarkLSTMStep",
+    "BenchmarkDenseForward",
+    "BenchmarkTracerFramePath",
+]
+
+
+def main():
+    bench_out, json_path = sys.argv[1], sys.argv[2]
+    section = sys.argv[3] if len(sys.argv) > 3 else "current"
+    tolerance = float(os.environ.get("BENCH_GUARD_TOLERANCE", "0.20"))
+    fresh = parse(bench_out)
+    with open(json_path) as fh:
+        doc = json.load(fh)
+    recorded = doc[section]["benchmarks"]
+
+    failures = []
+    for name in PINNED:
+        if name not in recorded:
+            print(f"benchguard: {name}: no recorded entry in [{section}] — skipped")
+            continue
+        if name not in fresh:
+            print(f"benchguard: {name}: not present in this run — skipped")
+            continue
+        got, want = fresh[name]["ns_op"], recorded[name]["ns_op"]
+        ratio = got / want if want else float("inf")
+        verdict = "ok"
+        if ratio > 1 + tolerance:
+            verdict = "REGRESSED"
+            failures.append(name)
+        print(f"benchguard: {name}: {want:.1f} -> {got:.1f} ns/op "
+              f"({(ratio - 1) * 100:+.1f}%, tolerance {tolerance:.0%}) {verdict}")
+
+    if failures:
+        print(f"benchguard: FAIL: {len(failures)} pinned benchmark(s) regressed "
+              f">{tolerance:.0%} vs [{section}] of {json_path}: {', '.join(failures)}")
+        return 1
+    print(f"benchguard: all pinned benchmarks within {tolerance:.0%} of [{section}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,11 @@ Records ns/op, B/op and allocs/op per benchmark under the given section
 (default "current"). Other sections already in the JSON file — notably
 the pinned "baseline" section recording the pre-optimization numbers —
 are preserved, so the perf trajectory accumulates instead of resetting.
+
+The section is stamped with the commit the numbers were measured at
+(`git rev-parse --short HEAD`, "+dirty" appended when the working tree
+has uncommitted changes), and a per-benchmark delta summary against the
+"baseline" section is printed after writing.
 """
 import json
 import re
@@ -35,6 +40,40 @@ def parse(path):
     return out
 
 
+def commit_stamp():
+    """The measured-at commit: short HEAD, marked when the tree is dirty."""
+    head = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
+    ).stdout.strip()
+    if not head:
+        return "unknown"
+    dirty = subprocess.run(
+        ["git", "status", "--porcelain"], capture_output=True, text=True
+    ).stdout.strip()
+    return head + "+dirty" if dirty else head
+
+
+def print_deltas(doc, section, against="baseline"):
+    """Per-benchmark ns/op delta of `section` vs `against`."""
+    if against not in doc or against == section:
+        return
+    cur = doc[section]["benchmarks"]
+    base = doc[against]["benchmarks"]
+    shared = sorted(set(cur) & set(base))
+    if not shared:
+        return
+    width = max(len(n) for n in shared)
+    print(f"\n{section} ({doc[section]['commit']}) vs "
+          f"{against} ({doc[against]['commit']}), ns/op:")
+    for name in shared:
+        c, b = cur[name]["ns_op"], base[name]["ns_op"]
+        delta = (c - b) / b * 100 if b else float("nan")
+        print(f"  {name:<{width}}  {b:>14.1f} -> {c:>14.1f}  {delta:+7.1f}%")
+    only = sorted(set(cur) - set(base))
+    if only:
+        print(f"  (no {against} entry: {', '.join(only)})")
+
+
 def main():
     bench_out, json_path = sys.argv[1], sys.argv[2]
     section = sys.argv[3] if len(sys.argv) > 3 else "current"
@@ -44,14 +83,12 @@ def main():
     except (FileNotFoundError, json.JSONDecodeError):
         doc = {}
     doc.setdefault("units", {"time": "ns/op", "mem": "B/op", "allocs": "allocs/op"})
-    commit = subprocess.run(
-        ["git", "rev-parse", "--short", "HEAD"], capture_output=True, text=True
-    ).stdout.strip() or "unknown"
-    doc[section] = {"commit": commit, "benchmarks": parse(bench_out)}
+    doc[section] = {"commit": commit_stamp(), "benchmarks": parse(bench_out)}
     with open(json_path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {len(doc[section]['benchmarks'])} benchmarks to {json_path} [{section}]")
+    print_deltas(doc, section)
 
 
 if __name__ == "__main__":
