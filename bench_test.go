@@ -539,6 +539,38 @@ func BenchmarkScenarioProfiles(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultChurn runs the full fault-injection churn path —
+// crashes on a deterministic MTBF/MTTR schedule, evictions, retry
+// failover and brown-out degradation, with every epoch executed on
+// simulated machines. It rides the CI bench smoke (-benchtime 1x), so a
+// fault path that panics, stalls or stops recovering sessions fails the
+// build instead of rotting.
+func BenchmarkFaultChurn(b *testing.B) {
+	cfg := benchCfg()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	shape := exp.FleetShape{
+		Machines: 5, Policy: "leastdemand", Mix: "heavy", CoreClasses: "8,8,4",
+		Epochs: 8, ArrivalRate: 3, MeanSessionEpochs: 4,
+		MTBFEpochs: 5, MTTREpochs: 1,
+		RetryAttempts: 3, RetryBackoffEpochs: 1, Degrade: true,
+	}
+	for i := 0; i < b.N; i++ {
+		rs := core.RunFaultComparison(shape, cfg)
+		drop, resilient := rs[1], rs[2]
+		if drop.Crashes == 0 {
+			b.Fatal("fault schedule injected no crashes")
+		}
+		if resilient.Recovered == 0 {
+			b.Fatal("retry failover recovered no sessions")
+		}
+		if show := printHeader("Faults", "fault injection: drop vs retry+degrade"); show {
+			fmt.Printf("crashes %d: availability %.1f%% (drop) vs %.1f%% (retry+degrade), %d recovered, %d degraded session-epochs\n",
+				drop.Crashes, 100*drop.Availability, 100*resilient.Availability,
+				resilient.Recovered, resilient.DegradedSessionEpochs)
+		}
+	}
+}
+
 // mustProfile resolves a registered profile for the scenario bench.
 func mustProfile(b *testing.B, name string) app.Profile {
 	p, ok := app.ByName(name)

@@ -7,18 +7,22 @@
 //	pictor-bench -exp grid [-profiles STK,CAD,VV]
 //	pictor-bench -exp fleet -machines 4 -policy binpack [-mix heavy] [-requests 16] [-profiles all]
 //	pictor-bench -exp churn -machines 4 -rate 1.6 -duration 5 -epochs 10 [-migrate] [-cores 8,4]
+//	pictor-bench -exp faults -machines 5 -cores 8,8,4 -mtbf 5 -mttr 1 -retries 3 -backoff 1 -degrade
 //	pictor-bench -exp all
 //
 // Experiment ids: tab2 tab3 tab4 fig6 fig7 overhead fig8 fig9 fig10
 // fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21
-// fig22 grid fleet churn. "grid" runs the complete evaluation as one
-// flat trial grid on the parallel experiment runner; "fleet" goes
+// fig22 grid fleet churn faults. "grid" runs the complete evaluation as
+// one flat trial grid on the parallel experiment runner; "fleet" goes
 // beyond the paper's single server and consolidates an instance-request
 // stream across a multi-machine fleet under every placement policy;
 // "churn" replaces the one-shot stream with a Poisson arrival process
 // (exponential session lengths, departures) over an optionally
 // heterogeneous fleet and compares static placement against RTT-driven
-// migration.
+// migration; "faults" injects deterministic machine crashes into the
+// churn simulation (-mtbf/-mttr, defaulting to 5/1) and compares
+// drop-on-failure against session failover with retry/backoff
+// (-retries/-backoff) and brown-out QoS tiers (-degrade).
 //
 // -profiles selects the workload set every experiment sweeps: "" keeps
 // the paper's Table-2 six, "all" selects every registered profile
@@ -58,6 +62,11 @@ func main() {
 	duration := flag.Float64("duration", 5, "churn experiment: mean session length in epochs (exponential)")
 	epochs := flag.Int("epochs", 10, "churn experiment: epoch count")
 	migrate := flag.Bool("migrate", true, "churn experiment: enable the RTT-driven migration controller in the detailed run")
+	mtbf := flag.Float64("mtbf", 0, "churn/faults experiments: mean epochs between machine crashes (0 = no faults; faults requires -mttr > 0)")
+	mttr := flag.Float64("mttr", 0, "churn/faults experiments: mean epochs to repair a crashed machine")
+	retries := flag.Int("retries", 0, "churn/faults experiments: failover retry attempts per evicted/rejected session (0 = drop on failure)")
+	backoff := flag.Int("backoff", 1, "churn/faults experiments: base retry backoff in epochs (doubles per attempt)")
+	degrade := flag.Bool("degrade", false, "churn/faults experiments: enable brown-out QoS tiers (degrade resolution before evicting)")
 	profiles := flag.String("profiles", "", fmt.Sprintf("workload set: comma-separated profile names, \"all\" for every registered profile, empty for the paper's six (registered: %s)", strings.Join(app.Names(), ",")))
 	flag.Parse()
 
@@ -87,7 +96,12 @@ func main() {
 			fleetExp(cfg, *machines, *policy, *mix, *requests, *cores, *profiles)
 		},
 		"churn": func(cfg core.ExperimentConfig) {
-			churnExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate)
+			churnExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate,
+				*mtbf, *mttr, *retries, *backoff, *degrade)
+		},
+		"faults": func(cfg core.ExperimentConfig) {
+			faultsExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate,
+				*mtbf, *mttr, *retries, *backoff, *degrade)
 		},
 	}
 	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
@@ -481,26 +495,16 @@ func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, reque
 // the detailed per-epoch table for the selected migration setting, then
 // the static-vs-migrate comparison over the identical tenant
 // population.
-func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool) {
-	validateFleetFlags(machines, policy, mix, cores)
-	if err := fleet.ValidateChurnParams(rate, duration, epochs); err != nil {
-		fatalf("-rate/-duration/-epochs: %v", err)
-	}
-	shape := exp.FleetShape{
-		Machines:          machines,
-		Policy:            policy,
-		Mix:               mix,
-		CoreClasses:       cores,
-		Profiles:          profiles,
-		Epochs:            epochs,
-		ArrivalRate:       rate,
-		MeanSessionEpochs: duration,
-		Migrate:           migrate,
-	}
+func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) {
+	shape := churnShape(machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
+		mtbf, mttr, retries, backoff, degrade)
 
 	mode := "static"
 	if migrate {
 		mode = "RTT-driven migration"
+	}
+	if shape.Faulty() {
+		mode += fmt.Sprintf(", faults mtbf=%g mttr=%g", mtbf, mttr)
 	}
 	fmt.Printf("churn: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, %s\n\n",
 		machines, coreDesc(cores), policy, mix, profilesDesc(profiles), rate, duration, epochs, mode)
@@ -519,6 +523,67 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profi
 	fmt.Print(core.ChurnTable(r))
 
 	fmt.Printf("\nstatic vs migrate (same tenant population):\n")
+	fmt.Print(core.ChurnComparisonTable(rs))
+	fmt.Printf("complete in %s (wall)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// churnShape validates the shared churn/fault flag vocabulary and
+// assembles the fleet shape, so both experiments fail on a typo before
+// anything runs.
+func churnShape(machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) exp.FleetShape {
+	validateFleetFlags(machines, policy, mix, cores)
+	if err := fleet.ValidateChurnParams(rate, duration, epochs); err != nil {
+		fatalf("-rate/-duration/-epochs: %v", err)
+	}
+	if err := fleet.ValidateFaultParams(mtbf, mttr); err != nil {
+		fatalf("-mtbf/-mttr: %v", err)
+	}
+	if retries < 0 || backoff < 0 {
+		fatalf("-retries and -backoff must be >= 0, got %d and %d", retries, backoff)
+	}
+	return exp.FleetShape{
+		Machines:           machines,
+		Policy:             policy,
+		Mix:                mix,
+		CoreClasses:        cores,
+		Profiles:           profiles,
+		Epochs:             epochs,
+		ArrivalRate:        rate,
+		MeanSessionEpochs:  duration,
+		Migrate:            migrate,
+		MTBFEpochs:         mtbf,
+		MTTREpochs:         mttr,
+		RetryAttempts:      retries,
+		RetryBackoffEpochs: backoff,
+		Degrade:            degrade,
+	}
+}
+
+// faultsExp injects machine crashes into the churn simulation and
+// compares three recovery postures over the identical tenant
+// population and failure schedule: no faults, drop-on-failure, and
+// session failover with retry/backoff plus brown-out degradation.
+func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) {
+	if mtbf == 0 {
+		// The experiment is about faults: default to a crash every 5
+		// epochs with a 1-epoch repair unless the user says otherwise.
+		mtbf, mttr = 5, 1
+	}
+	shape := churnShape(machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
+		mtbf, mttr, retries, backoff, degrade)
+
+	fmt.Printf("faults: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, MTBF %g MTTR %g\n\n",
+		machines, coreDesc(cores), policy, mix, profilesDesc(profiles), rate, duration, epochs, mtbf, mttr)
+
+	start := time.Now()
+	rs := core.RunFaultComparison(shape, cfg)
+	resilient := rs[2]
+	fmt.Printf("resilient run: %d crashes, %d evicted, %d retried, %d recovered, %d lost, availability %.1f%%\n",
+		resilient.Crashes, resilient.Evicted, resilient.Retried, resilient.Recovered, resilient.Lost,
+		100*resilient.Availability)
+	fmt.Print(core.ChurnTable(resilient))
+
+	fmt.Printf("\nhealthy vs drop-on-failure vs retry+degrade (same tenants, same failure schedule):\n")
 	fmt.Print(core.ChurnComparisonTable(rs))
 	fmt.Printf("complete in %s (wall)\n", time.Since(start).Round(time.Millisecond))
 }

@@ -57,6 +57,9 @@ func main() {
 	fmt.Print(pictor.ChurnComparisonTable(rs))
 	fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
 
+	fmt.Printf("\nadmission under churn: %d rejected, %d retried, %d recovered, %d lost (migrate run)\n",
+		migrated.Rejected, migrated.Retried, migrated.Recovered, migrated.Lost)
+
 	fmt.Printf("\nper-epoch view with migration enabled:\n")
 	fmt.Print(pictor.ChurnTable(migrated))
 

@@ -25,6 +25,17 @@ type EpochResult struct {
 	Rejected   int
 	// Active is how many sessions actually executed this epoch.
 	Active int
+	// Crashes and Evicted count fault injection: machines that went
+	// down this epoch and the resident sessions they force-released.
+	Crashes int
+	Evicted int
+	// Retried and Recovered count failover: matured retry attempts
+	// this epoch and how many of them were re-admitted.
+	Retried   int
+	Recovered int
+	// Degraded is a gauge: how many of the epoch's executed sessions
+	// ran below full fidelity (brown-out tiers).
+	Degraded int
 	// QoSViolations counts executed instances below the 25-FPS floor.
 	QoSViolations int
 	// PowerWatts is fleet wall power over the epoch, idle machines
@@ -41,6 +52,11 @@ type ChurnResult struct {
 	Policy  string
 	Mix     string
 	Migrate bool
+	// Faulty, Retry and Degrade echo the shape's robustness knobs
+	// (fault injection on, failover on, brown-out tiers on).
+	Faulty  bool
+	Retry   bool
+	Degrade bool
 	// Epochs holds one row per epoch, in order.
 	Epochs []EpochResult
 	// Totals over the horizon.
@@ -49,6 +65,24 @@ type ChurnResult struct {
 	Migrations    int
 	Rejected      int
 	QoSViolations int
+	// Fault/failover totals over the horizon. Lost counts sessions
+	// that were rejected or evicted and never came back (retries
+	// exhausted, or the tenant departed first); DegradedSessionEpochs
+	// sums the per-epoch Degraded gauge.
+	Crashes               int
+	Evicted               int
+	Retried               int
+	Recovered             int
+	Lost                  int
+	DegradedSessionEpochs int
+	// Availability is the robustness headline: QoS-compliant
+	// session-epochs over offered session-epochs. Offered counts every
+	// epoch each scheduled arrival wanted service inside the horizon
+	// (whether admitted or not); compliant counts executed
+	// session-epochs that met the 25-FPS floor.
+	OfferedSessionEpochs   int
+	CompliantSessionEpochs int
+	Availability           float64
 	// MeanActive and MeanPowerWatts average the per-epoch session
 	// count and fleet power over the horizon.
 	MeanActive     float64
@@ -102,36 +136,94 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	pol := fleetPolicy(t.ID, sh.Policy, suite)
 	f := buildFleet(t.ID, sh)
 	c := fleet.NewChurn(f, pol)
+	c.Retry = fleet.RetryPolicy{MaxAttempts: sh.RetryAttempts, BackoffEpochs: sh.RetryBackoffEpochs}
+
+	// Fault schedule: like the arrival schedule, derived from the
+	// stream base and the fault parameters only — never the key-derived
+	// unit seed — so a drop-on-failure vs retry/degrade comparison (and
+	// every policy/migration variant) crashes the identical machines at
+	// the identical epochs, and the delta is the recovery's doing.
+	var timeline [][]fleet.MachineState
+	if sh.Faulty() {
+		faultKey := fmt.Sprintf("fleet/faults|mtbf=%g|mttr=%g|m=%d|epochs=%d",
+			sh.MTBFEpochs, sh.MTTREpochs, len(f.Machines), sh.Epochs)
+		tl, ferr := fleet.FaultStream(len(f.Machines), sh.MTBFEpochs, sh.MTTREpochs,
+			sh.Epochs, exp.DeriveSeed(streamBase, faultKey, u.Rep))
+		if ferr != nil {
+			panic(fmt.Sprintf("core: churn trial %q: %v", t.ID, ferr))
+		}
+		timeline = tl
+	}
 
 	out := &ChurnResult{
 		Policy:     pol.Name(),
 		Mix:        string(sh.Mix),
 		Migrate:    sh.Migrate,
+		Faulty:     sh.Faulty(),
+		Retry:      sh.RetryAttempts > 0,
+		Degrade:    sh.Degrade,
 		Epochs:     make([]EpochResult, 0, sh.Epochs),
 		RepsMerged: 1,
 	}
 	if out.Mix == "" {
 		out.Mix = string(fleet.MixSuite)
 	}
+	// Offered session-epochs: every epoch each scheduled tenant wants
+	// service inside the horizon — the availability denominator, a pure
+	// function of the stream so every variant shares it.
+	for _, arr := range stream {
+		for _, s := range arr {
+			end := s.Departs
+			if end > sh.Epochs {
+				end = sh.Epochs
+			}
+			out.OfferedSessionEpochs += end - s.Arrive
+		}
+	}
 
 	var allRTTs []stats.Summary
 	for e := 0; e < sh.Epochs; e++ {
 		er := EpochResult{Epoch: e}
 		er.Departures = c.DepartDue(e)
+		// Apply this epoch's fault states. A machine entering Down
+		// crashes: its residents are force-released into the failover
+		// queue (or lost, with retries off). Repaired machines pass
+		// through a cold-start epoch before taking placements again.
+		if timeline != nil {
+			for mi, m := range f.Machines {
+				st := timeline[mi][e]
+				if st == fleet.MachineDown && m.State != fleet.MachineDown {
+					er.Crashes++
+					m.State = st
+					er.Evicted += c.EvictAll(mi, e)
+					continue
+				}
+				m.State = st
+			}
+		}
+		er.Retried, er.Recovered = c.RetryDue(e)
 		for _, s := range stream[e] {
 			er.Arrivals++
-			if !c.Arrive(s) {
+			if !c.Offer(s, e) {
 				er.Rejected++
 			}
 		}
 		er.Active = c.Active
+		for mi := range f.Machines {
+			er.Degraded += c.DegradedResidents(mi)
+		}
 
 		// Execute: one cluster per machine, idle machines included (an
 		// empty cluster still burns idle watts — consolidation's whole
-		// power argument rests on that).
+		// power argument rests on that). Crashed machines are the one
+		// exception: down means powered off, so they burn nothing and
+		// measure nothing.
 		machineRTT := make([]stats.Summary, len(f.Machines))
 		var epochRTTs []stats.Summary
 		for mi, m := range f.Machines {
+			if m.State == fleet.MachineDown {
+				continue
+			}
 			// Per-(machine, epoch) seeds derive from the stream base —
 			// not the unit seed, which encodes policy and Migrate — so
 			// a migration-vs-static (or policy) comparison runs matched
@@ -163,12 +255,17 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 		er.RTT = exp.PoolSummaries(epochRTTs)
 		allRTTs = append(allRTTs, epochRTTs...)
 
-		// Migrate: this epoch's measurements pick the sources (worst
-		// measured RTT first) and the targets (lowest measured RTT that
-		// fits); the moves land before the next epoch executes. The
-		// final epoch skips the controller — there is no next epoch for
-		// a move to help.
-		if sh.Migrate && e < sh.Epochs-1 {
+		// React: this epoch's measurements pick the machines over the
+		// QoS ceiling (worst measured RTT first). With brown-out tiers
+		// enabled a violator first degrades its heaviest resident —
+		// quality sheds before anyone is moved or dropped — and only
+		// falls back to the migration controller when every resident is
+		// already at the deepest tier. Machines measuring below the
+		// all-clear threshold restore one degraded resident per epoch.
+		// The moves and tier changes land before the next epoch
+		// executes; the final epoch skips the controllers — there is no
+		// next epoch for them to help.
+		if (sh.Migrate || sh.Degrade) && e < sh.Epochs-1 {
 			rtt := make([]float64, len(f.Machines))
 			violators := make([]int, 0, len(f.Machines))
 			for mi := range f.Machines {
@@ -183,8 +280,18 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 				return rtt[violators[a]] > rtt[violators[b]]
 			})
 			for _, mi := range violators {
-				if c.MigrateOff(mi, rtt) {
+				if sh.Degrade && c.DegradeToFit(mi) > 0 {
+					continue
+				}
+				if sh.Migrate && c.MigrateOff(mi, rtt) {
 					er.Migrations++
+				}
+			}
+			if sh.Degrade {
+				for mi := range f.Machines {
+					if machineRTT[mi].N > 0 && rtt[mi] < fleet.QoSClearRTTMs {
+						c.UpgradeOne(mi)
+					}
 				}
 			}
 		}
@@ -195,8 +302,18 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 		out.Migrations += er.Migrations
 		out.Rejected += er.Rejected
 		out.QoSViolations += er.QoSViolations
+		out.Crashes += er.Crashes
+		out.Evicted += er.Evicted
+		out.Retried += er.Retried
+		out.Recovered += er.Recovered
+		out.DegradedSessionEpochs += er.Degraded
+		out.CompliantSessionEpochs += er.Active - er.QoSViolations
 		out.MeanActive += float64(er.Active) / float64(sh.Epochs)
 		out.MeanPowerWatts += er.PowerWatts / float64(sh.Epochs)
+	}
+	out.Lost = c.Lost
+	if out.OfferedSessionEpochs > 0 {
+		out.Availability = float64(out.CompliantSessionEpochs) / float64(out.OfferedSessionEpochs)
 	}
 	out.RTT = exp.PoolSummaries(allRTTs)
 	return out
@@ -226,11 +343,20 @@ func mergeChurn(reps []TrialResult) ChurnResult {
 	out.Migrations = roundMean(func(r ChurnResult) int { return r.Migrations })
 	out.Rejected = roundMean(func(r ChurnResult) int { return r.Rejected })
 	out.QoSViolations = roundMean(func(r ChurnResult) int { return r.QoSViolations })
-	out.MeanActive, out.MeanPowerWatts = 0, 0
+	out.Crashes = roundMean(func(r ChurnResult) int { return r.Crashes })
+	out.Evicted = roundMean(func(r ChurnResult) int { return r.Evicted })
+	out.Retried = roundMean(func(r ChurnResult) int { return r.Retried })
+	out.Recovered = roundMean(func(r ChurnResult) int { return r.Recovered })
+	out.Lost = roundMean(func(r ChurnResult) int { return r.Lost })
+	out.DegradedSessionEpochs = roundMean(func(r ChurnResult) int { return r.DegradedSessionEpochs })
+	out.OfferedSessionEpochs = roundMean(func(r ChurnResult) int { return r.OfferedSessionEpochs })
+	out.CompliantSessionEpochs = roundMean(func(r ChurnResult) int { return r.CompliantSessionEpochs })
+	out.MeanActive, out.MeanPowerWatts, out.Availability = 0, 0, 0
 	rtts := make([]stats.Summary, 0, len(reps))
 	for _, r := range reps {
 		out.MeanActive += r.Churn.MeanActive * inv
 		out.MeanPowerWatts += r.Churn.MeanPowerWatts * inv
+		out.Availability += r.Churn.Availability * inv
 		if r.Churn.RTT.N > 0 {
 			rtts = append(rtts, r.Churn.RTT)
 		}
@@ -239,7 +365,7 @@ func mergeChurn(reps []TrialResult) ChurnResult {
 
 	for ei := range out.Epochs {
 		e := EpochResult{Epoch: ei}
-		sums := struct{ arr, dep, mig, rej, act, qos, watts float64 }{}
+		sums := struct{ arr, dep, mig, rej, act, crash, evict, retry, rec, degr, qos, watts float64 }{}
 		ertts := make([]stats.Summary, 0, len(reps))
 		for _, r := range reps {
 			re := r.Churn.Epochs[ei]
@@ -248,6 +374,11 @@ func mergeChurn(reps []TrialResult) ChurnResult {
 			sums.mig += float64(re.Migrations) * inv
 			sums.rej += float64(re.Rejected) * inv
 			sums.act += float64(re.Active) * inv
+			sums.crash += float64(re.Crashes) * inv
+			sums.evict += float64(re.Evicted) * inv
+			sums.retry += float64(re.Retried) * inv
+			sums.rec += float64(re.Recovered) * inv
+			sums.degr += float64(re.Degraded) * inv
 			sums.qos += float64(re.QoSViolations) * inv
 			sums.watts += re.PowerWatts * inv
 			if re.RTT.N > 0 {
@@ -259,6 +390,11 @@ func mergeChurn(reps []TrialResult) ChurnResult {
 		e.Migrations = int(sums.mig + 0.5)
 		e.Rejected = int(sums.rej + 0.5)
 		e.Active = int(sums.act + 0.5)
+		e.Crashes = int(sums.crash + 0.5)
+		e.Evicted = int(sums.evict + 0.5)
+		e.Retried = int(sums.retry + 0.5)
+		e.Recovered = int(sums.rec + 0.5)
+		e.Degraded = int(sums.degr + 0.5)
 		e.QoSViolations = int(sums.qos + 0.5)
 		e.PowerWatts = sums.watts
 		e.RTT = exp.PoolSummaries(ertts)
@@ -284,8 +420,37 @@ func churnTrial(shape exp.FleetShape, cfg ExperimentConfig) exp.Trial {
 	if shape.Migrate {
 		mode = "migrate"
 	}
+	if shape.Faulty() {
+		mode += "+faults"
+	}
+	if shape.RetryAttempts > 0 {
+		mode += "+retry"
+	}
+	if shape.Degrade {
+		mode += "+degrade"
+	}
 	t.ID = fmt.Sprintf("churn/%s/%s/m%d×e%d/%s", pol, mix, shape.Machines, shape.Epochs, mode)
 	return t
+}
+
+// churnModeLabel names an executed churn variant from the result's
+// echoed knobs, matching churnTrial's ID suffix: placement mode first,
+// then the robustness knobs that were on.
+func churnModeLabel(r ChurnResult) string {
+	mode := "static"
+	if r.Migrate {
+		mode = "migrate"
+	}
+	if r.Faulty {
+		mode += "+faults"
+	}
+	if r.Retry {
+		mode += "+retry"
+	}
+	if r.Degrade {
+		mode += "+degrade"
+	}
+	return mode
 }
 
 // RunFleetChurn drives the shape's fleet through its churn horizon —
@@ -322,10 +487,15 @@ func RunChurnComparison(shape exp.FleetShape, cfg ExperimentConfig) []ChurnResul
 	return []ChurnResult{mergeChurn(all[0]), mergeChurn(all[1])}
 }
 
-// ChurnTable renders one churn outcome as per-epoch rows: session
-// lifecycle, QoS violations, interactivity and fleet power.
+// ChurnTable renders one churn outcome as per-epoch rows — session
+// lifecycle (admission loss included: rejected, crash/evict, failover
+// retries and recoveries, brown-out gauge), QoS violations,
+// interactivity and fleet power — followed by the horizon rollup line
+// with the availability metric, so loss is visible, not write-only
+// bookkeeping.
 func ChurnTable(r ChurnResult) string {
 	t := stats.NewTable("epoch", "active", "arrive", "depart", "migrate", "reject",
+		"crash", "evict", "retry", "recover", "degraded",
 		"QoS-viol", "RTT mean", "RTT p99", "fleet W")
 	for _, e := range r.Epochs {
 		t.Row(
@@ -335,29 +505,41 @@ func ChurnTable(r ChurnResult) string {
 			fmt.Sprintf("%d", e.Departures),
 			fmt.Sprintf("%d", e.Migrations),
 			fmt.Sprintf("%d", e.Rejected),
+			fmt.Sprintf("%d", e.Crashes),
+			fmt.Sprintf("%d", e.Evicted),
+			fmt.Sprintf("%d", e.Retried),
+			fmt.Sprintf("%d", e.Recovered),
+			fmt.Sprintf("%d", e.Degraded),
 			fmt.Sprintf("%d", e.QoSViolations),
 			fmt.Sprintf("%.1f ms", e.RTT.Mean),
 			fmt.Sprintf("%.1f ms", e.RTT.P99),
 			fmt.Sprintf("%.1f", e.PowerWatts))
 	}
-	return t.String()
+	return t.String() + fmt.Sprintf(
+		"availability %.1f%% (%d/%d compliant session-epochs) · rejected %d · retried %d · recovered %d · lost %d\n",
+		100*r.Availability, r.CompliantSessionEpochs, r.OfferedSessionEpochs,
+		r.Rejected, r.Retried, r.Recovered, r.Lost)
 }
 
-// ChurnComparisonTable renders churn outcomes side by side (one row
-// each, static vs migrate) — the "does migration pay" table.
+// ChurnComparisonTable renders churn outcomes side by side (one row per
+// variant: static vs migrate, drop-on-failure vs retry/degrade) — the
+// "does the controller pay" table, with the availability headline.
 func ChurnComparisonTable(rs []ChurnResult) string {
-	t := stats.NewTable("mode", "arrivals", "rejected", "migrations",
-		"QoS-viol", "RTT mean", "RTT p99", "mean W")
+	t := stats.NewTable("mode", "arrivals", "rejected", "migrations", "crashes",
+		"evicted", "retried", "recovered", "lost", "QoS-viol", "avail",
+		"RTT mean", "RTT p99", "mean W")
 	for _, r := range rs {
-		mode := "static"
-		if r.Migrate {
-			mode = "migrate"
-		}
-		t.Row(mode,
+		t.Row(churnModeLabel(r),
 			fmt.Sprintf("%d", r.Arrivals),
 			fmt.Sprintf("%d", r.Rejected),
 			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d", r.Crashes),
+			fmt.Sprintf("%d", r.Evicted),
+			fmt.Sprintf("%d", r.Retried),
+			fmt.Sprintf("%d", r.Recovered),
+			fmt.Sprintf("%d", r.Lost),
 			fmt.Sprintf("%d", r.QoSViolations),
+			fmt.Sprintf("%.1f%%", 100*r.Availability),
 			fmt.Sprintf("%.1f ms", r.RTT.Mean),
 			fmt.Sprintf("%.1f ms", r.RTT.P99),
 			fmt.Sprintf("%.1f", r.MeanPowerWatts))

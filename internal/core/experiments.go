@@ -82,6 +82,22 @@ func (cfg ExperimentConfig) trial(specs ...exp.InstanceSpec) exp.Trial {
 // windows; a zero-measure trial would otherwise silently report
 // all-zero results.
 func RunTrials(trials []exp.Trial, cfg ExperimentConfig) [][]TrialResult {
+	out, errs := RunTrialsChecked(trials, cfg)
+	if len(errs) > 0 {
+		// Fail with the unit's identity (trial ID, full Key(), rep)
+		// rather than the raw panic value — a poisoned trial in a large
+		// sweep must name itself.
+		panic(errs[0])
+	}
+	return out
+}
+
+// RunTrialsChecked is RunTrials with per-unit panic isolation: a
+// panicking trial execution fails only its own (trial, repetition) unit
+// — reported as an exp.PanicError carrying the trial's ID, Key() and
+// repetition — while every other unit's result lands intact. Errors
+// come back sorted by (trial, rep).
+func RunTrialsChecked(trials []exp.Trial, cfg ExperimentConfig) ([][]TrialResult, []*exp.PanicError) {
 	defaulted := make([]exp.Trial, len(trials))
 	copy(defaulted, trials)
 	for i := range defaulted {
@@ -92,7 +108,7 @@ func RunTrials(trials []exp.Trial, cfg ExperimentConfig) [][]TrialResult {
 			}
 		}
 	}
-	return exp.Run(defaulted, ExecuteTrial, cfg.runOptions())
+	return exp.RunChecked(defaulted, ExecuteTrial, cfg.runOptions())
 }
 
 // ---------------------------------------------------------------------------

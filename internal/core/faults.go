@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"pictor/internal/exp"
+)
+
+// RunFaultComparison answers the robustness question: under the same
+// deterministic failure schedule, what do failover and graceful
+// degradation buy? It runs the shape three ways as one batch on the
+// parallel runner:
+//
+//  1. healthy — the shape with faults, failover and degradation all
+//     stripped (the no-crash baseline),
+//  2. faulty/drop — the failure schedule with the historical
+//     drop-on-failure behaviour (no retries, no tiers),
+//  3. faulty/resilient — the same failure schedule with the shape's
+//     failover and degradation knobs (defaults fill in when the shape
+//     enables faults but sets neither: 3 retry attempts at backoff 1,
+//     brown-out tiers on).
+//
+// All three churn the identical tenant population and execution noise,
+// and both faulty runs crash the identical machines at the identical
+// epochs (the arrival and fault schedules derive from the config seed
+// and their own parameters only — see executeFleetChurn), so the
+// availability deltas are the recovery mechanisms' doing, not stream
+// luck. Results come back in the order above.
+func RunFaultComparison(shape exp.FleetShape, cfg ExperimentConfig) []ChurnResult {
+	if !shape.Churn() {
+		panic(fmt.Sprintf("core: RunFaultComparison needs a churn shape (Epochs >= 1, got %d)", shape.Epochs))
+	}
+	if !shape.Faulty() {
+		panic("core: RunFaultComparison needs fault injection (MTBFEpochs > 0); use RunChurnComparison for fault-free fleets")
+	}
+	validateFleetShape(shape)
+
+	healthy := shape
+	healthy.MTBFEpochs, healthy.MTTREpochs = 0, 0
+	healthy.RetryAttempts, healthy.RetryBackoffEpochs = 0, 0
+	healthy.Degrade = false
+
+	drop := shape
+	drop.RetryAttempts, drop.RetryBackoffEpochs = 0, 0
+	drop.Degrade = false
+
+	resilient := shape
+	if resilient.RetryAttempts <= 0 && !resilient.Degrade {
+		resilient.RetryAttempts = 3
+		resilient.RetryBackoffEpochs = 1
+		resilient.Degrade = true
+	}
+
+	trials := []exp.Trial{
+		churnTrial(healthy, cfg),
+		churnTrial(drop, cfg),
+		churnTrial(resilient, cfg),
+	}
+	all := RunTrials(trials, cfg)
+	return []ChurnResult{mergeChurn(all[0]), mergeChurn(all[1]), mergeChurn(all[2])}
+}

@@ -425,6 +425,15 @@ func validateFleetShape(shape exp.FleetShape) {
 	} else if shape.Requests < 1 {
 		panic(fmt.Sprintf("core: fleet shape needs Requests >= 1, got %d (churn shapes set Epochs instead)", shape.Requests))
 	}
+	if err := fleet.ValidateFaultParams(shape.MTBFEpochs, shape.MTTREpochs); err != nil {
+		panic("core: " + err.Error())
+	}
+	if (shape.Faulty() || shape.RetryAttempts > 0 || shape.Degrade) && !shape.Churn() {
+		panic(fmt.Sprintf("core: fault injection, failover and degradation need a churn shape (Epochs >= 1, got %d) — one-shot admission has no epochs to crash, retry or recover in", shape.Epochs))
+	}
+	if shape.RetryAttempts < 0 || shape.RetryBackoffEpochs < 0 {
+		panic(fmt.Sprintf("core: retry attempts and backoff must be >= 0, got %d, %d", shape.RetryAttempts, shape.RetryBackoffEpochs))
+	}
 }
 
 // RunFleetConsolidation places the shape's request stream across its

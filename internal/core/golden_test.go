@@ -24,6 +24,7 @@ const (
 	fleetGoldenPath     = "testdata/fleet_golden.txt"
 	churnGoldenPath     = "testdata/churn_golden.txt"
 	scenariosGoldenPath = "testdata/scenarios_golden.txt"
+	faultsGoldenPath    = "testdata/faults_golden.txt"
 )
 
 // checkGolden compares got against the pinned fixture at path, or
@@ -238,4 +239,101 @@ func TestGoldenFleetChurn(t *testing.T) {
 		t.Fatalf("churn output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
 	}
 	checkGolden(t, churnGoldenPath, seq)
+}
+
+// renderFaults produces a byte-stable rendering of a fault comparison:
+// the churn fields plus the fault/failover/degradation counters and the
+// availability metric, every float via %v.
+func renderFaults(rs []ChurnResult) string {
+	var sb strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%s/%s faulty=%t retry=%t degrade=%t arr=%d dep=%d mig=%d rej=%d crash=%d evict=%d retried=%d rec=%d lost=%d degr=%d qos=%d avail=%v(%d/%d) active=%v watts=%v rtt=%+v\n",
+			r.Policy, r.Mix, r.Faulty, r.Retry, r.Degrade, r.Arrivals, r.Departures,
+			r.Migrations, r.Rejected, r.Crashes, r.Evicted, r.Retried, r.Recovered,
+			r.Lost, r.DegradedSessionEpochs, r.QoSViolations,
+			r.Availability, r.CompliantSessionEpochs, r.OfferedSessionEpochs,
+			r.MeanActive, r.MeanPowerWatts, r.RTT)
+		for _, e := range r.Epochs {
+			fmt.Fprintf(&sb, "  e%d active=%d arr=%d dep=%d mig=%d rej=%d crash=%d evict=%d retry=%d rec=%d degr=%d qos=%d watts=%v rtt=%+v\n",
+				e.Epoch, e.Active, e.Arrivals, e.Departures, e.Migrations, e.Rejected,
+				e.Crashes, e.Evicted, e.Retried, e.Recovered, e.Degraded,
+				e.QoSViolations, e.PowerWatts, e.RTT)
+		}
+	}
+	return sb.String()
+}
+
+// TestGoldenFleetFaults pins the fault-injection path the way the churn
+// fixture pins fault-free churn: a fixed-seed RunFaultComparison —
+// healthy baseline, drop-on-failure, and retry+degrade recovery over a
+// heterogeneous heavy-mix fleet, with repetitions so the derived fault
+// schedule, retry queue and brown-out tiers are all exercised across
+// seeds — must be byte-identical at -parallel 1 and 8 and must match
+// the recorded fixture. The test also asserts the robustness claims the
+// subsystem exists for: both faulty variants share the healthy run's
+// tenant population and crash identically, and recovery never reports
+// worse availability than dropping.
+func TestGoldenFleetFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 3 churn trials × 2 reps × 2 parallelism levels")
+	}
+	shape := exp.FleetShape{
+		Machines:           5,
+		Policy:             fleet.PolicyLeastDemand,
+		Mix:                string(fleet.MixHeavy),
+		CoreClasses:        "8,8,4",
+		Epochs:             8,
+		ArrivalRate:        3,
+		MeanSessionEpochs:  4,
+		MTBFEpochs:         5,
+		MTTREpochs:         1,
+		RetryAttempts:      3,
+		RetryBackoffEpochs: 1,
+		Degrade:            true,
+	}
+	base := QuickExperimentConfig()
+	base.WarmupSeconds, base.Seconds = 1, 5
+	base.Reps = 2
+
+	run := func(parallel int) []ChurnResult {
+		cfg := base
+		cfg.Parallel = parallel
+		return RunFaultComparison(shape, cfg)
+	}
+	rsSeq := run(1)
+	seq, par := renderFaults(rsSeq), renderFaults(run(8))
+	if seq != par {
+		t.Fatalf("fault output diverges across parallelism:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", seq, par)
+	}
+	healthy, drop, resilient := rsSeq[0], rsSeq[1], rsSeq[2]
+	if healthy.Faulty || !drop.Faulty || !resilient.Faulty {
+		t.Fatalf("order must be {healthy, drop, resilient}: %+v", rsSeq)
+	}
+	if healthy.Arrivals != drop.Arrivals || drop.Arrivals != resilient.Arrivals {
+		t.Fatalf("variants must churn the identical tenant population: %d/%d/%d arrivals",
+			healthy.Arrivals, drop.Arrivals, resilient.Arrivals)
+	}
+	if drop.Crashes == 0 {
+		t.Fatal("MTBF 4 over 6 epochs × 3 machines × 2 reps should crash someone")
+	}
+	if drop.Crashes != resilient.Crashes {
+		t.Fatalf("both faulty variants must run the identical failure schedule: %d vs %d crashes",
+			drop.Crashes, resilient.Crashes)
+	}
+	for e := range drop.Epochs {
+		if drop.Epochs[e].Crashes != resilient.Epochs[e].Crashes {
+			t.Fatalf("epoch %d crash counts differ across recovery settings", e)
+		}
+	}
+	if resilient.Availability <= drop.Availability {
+		t.Fatalf("retry+degrade must improve availability over drop-on-failure at this operating point: %v <= %v",
+			resilient.Availability, drop.Availability)
+	}
+	if resilient.Recovered == 0 {
+		t.Fatal("the resilient variant never recovered a session — failover is not exercised")
+	}
+	if resilient.DegradedSessionEpochs == 0 {
+		t.Fatal("the resilient variant never served a degraded session-epoch — brown-out is not exercised")
+	}
+	checkGolden(t, faultsGoldenPath, seq)
 }

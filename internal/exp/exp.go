@@ -136,11 +136,44 @@ type FleetShape struct {
 	// fleet.QoSMaxRTTMs shed their heaviest session to a feasible
 	// machine chosen by the placement policy.
 	Migrate bool
+
+	// Fault-injection fields: a churn shape with MTBFEpochs > 0 runs a
+	// deterministic per-machine crash/repair process (materialized up
+	// front like the arrival schedule, see fleet.FaultStream). All of
+	// these serialize into Key() only when set, so fault-free shapes
+	// keep their exact historical keys, seeds and fixtures.
+
+	// MTBFEpochs is each machine's mean time between failures, in
+	// epochs (exponential); 0 disables fault injection.
+	MTBFEpochs float64
+	// MTTREpochs is the mean repair time, in epochs (exponential,
+	// rounded up — every outage lasts at least one epoch, then
+	// fleet.ColdStartEpochs of cold start before placements resume).
+	// Required (> 0) whenever MTBFEpochs > 0.
+	MTTREpochs float64
+	// RetryAttempts bounds session failover: evicted and
+	// admission-rejected sessions re-enter admission up to this many
+	// times with exponential epoch-granularity backoff; 0 keeps the
+	// historical drop-on-failure behaviour.
+	RetryAttempts int
+	// RetryBackoffEpochs is the base failover backoff (attempt k
+	// matures RetryBackoffEpochs × 2^(k-1) epochs after the failure);
+	// <= 0 executes as 1.
+	RetryBackoffEpochs int
+	// Degrade enables brown-out quality tiers: machines over the QoS
+	// ceiling downgrade their heaviest resident's served resolution
+	// (see fleet.DegradedProfile) before the migration controller — or
+	// an eviction — runs, and upgrade back once measured RTT clears
+	// fleet.QoSClearRTTMs.
+	Degrade bool
 }
 
 // Churn reports whether the shape runs the epoch-based churn simulation
 // rather than one-shot admission.
 func (f FleetShape) Churn() bool { return f.Epochs > 0 }
+
+// Faulty reports whether the shape injects machine crashes.
+func (f FleetShape) Faulty() bool { return f.MTBFEpochs > 0 }
 
 // Trial is one independent benchmark session: some instances co-located
 // on one simulated server, run for Warmup+Measure seconds.
@@ -237,6 +270,17 @@ func (t Trial) Key() string {
 		if f.Churn() {
 			key += fmt.Sprintf(":churn=e%d:rate=%g:dur=%g:mig=%t",
 				f.Epochs, f.ArrivalRate, f.MeanSessionEpochs, f.Migrate)
+		}
+		// Fault injection, failover and degradation likewise serialize
+		// only when enabled, keeping every fault-free key historical.
+		if f.Faulty() {
+			key += fmt.Sprintf(":faults=mtbf%g:mttr%g", f.MTBFEpochs, f.MTTREpochs)
+		}
+		if f.RetryAttempts > 0 {
+			key += fmt.Sprintf(":retry=%d:backoff=%d", f.RetryAttempts, f.RetryBackoffEpochs)
+		}
+		if f.Degrade {
+			key += ":degrade=true"
 		}
 		return key
 	}

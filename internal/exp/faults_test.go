@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pictor/internal/app"
+)
+
+// TestFleetShapeFaultKeyStability: the fault-injection fields join the
+// key only when set, so every pre-fault shape keeps its exact
+// historical key — and therefore its derived seeds, streams and golden
+// fixtures.
+func TestFleetShapeFaultKeyStability(t *testing.T) {
+	shape := FleetShape{Machines: 3, Policy: "leastdemand", Mix: "heavy",
+		Epochs: 4, ArrivalRate: 2, MeanSessionEpochs: 3}
+	tr := FleetTrial(shape)
+	tr.Warmup, tr.Measure = 1, 5
+	base := tr.Key()
+	if strings.Contains(base, "faults") || strings.Contains(base, "retry") || strings.Contains(base, "degrade") {
+		t.Fatalf("fault-free key must not mention faults: %q", base)
+	}
+
+	faulty := shape
+	faulty.MTBFEpochs, faulty.MTTREpochs = 5, 1
+	ft := tr
+	ft.Fleet = &faulty
+	if got := ft.Key(); got != base+":faults=mtbf5:mttr1" {
+		t.Fatalf("faulty key = %q, want the base key plus :faults=mtbf5:mttr1", got)
+	}
+
+	resilient := faulty
+	resilient.RetryAttempts, resilient.RetryBackoffEpochs = 3, 1
+	resilient.Degrade = true
+	rt := tr
+	rt.Fleet = &resilient
+	if got := rt.Key(); got != base+":faults=mtbf5:mttr1:retry=3:backoff=1:degrade=true" {
+		t.Fatalf("resilient key = %q", got)
+	}
+	if !resilient.Faulty() || faulty.Faulty() == false || shape.Faulty() {
+		t.Fatal("Faulty() must track MTBFEpochs > 0")
+	}
+}
+
+// TestRunCheckedIsolatesPanics: a panicking unit fails only its own
+// (trial, rep) slot; every other result lands intact, and the failure
+// carries the trial's key, rep and stack — deterministically across
+// parallelism.
+func TestRunCheckedIsolatesPanics(t *testing.T) {
+	trials := []Trial{
+		Single(app.STK(), DriverHuman),
+		Single(app.RE(), DriverHuman),
+		Pair(app.STK(), app.RE()),
+	}
+	trials[1].ID = "poisoned"
+	exec := func(tr Trial, u Unit) int {
+		if u.TrialIndex == 1 && u.Rep == 2 {
+			panic("injected fault")
+		}
+		return u.TrialIndex*100 + u.Rep
+	}
+	run := func(parallel int) ([][]int, []*PanicError) {
+		return RunChecked(trials, exec, RunOptions{Parallel: parallel, Reps: 3, BaseSeed: 9})
+	}
+	out, errs := run(1)
+	if len(errs) != 1 {
+		t.Fatalf("got %d failures, want 1", len(errs))
+	}
+	pe := errs[0]
+	if pe.TrialIndex != 1 || pe.Rep != 2 || pe.Value != "injected fault" {
+		t.Fatalf("failure misattributed: %+v", pe)
+	}
+	if pe.TrialKey != trials[1].Key() {
+		t.Fatalf("failure key %q != trial key %q", pe.TrialKey, trials[1].Key())
+	}
+	msg := pe.Error()
+	if !strings.Contains(msg, trials[1].Key()) || !strings.Contains(msg, "poisoned") || !strings.Contains(msg, "rep 2") {
+		t.Fatalf("error message must name the trial, key and rep:\n%s", msg)
+	}
+	if pe.Stack == "" {
+		t.Fatal("failure must carry the panic stack")
+	}
+	// Every healthy unit still produced its result; the failed slot
+	// holds the zero value.
+	for ti := range trials {
+		for rep := 0; rep < 3; rep++ {
+			want := ti*100 + rep
+			if ti == 1 && rep == 2 {
+				want = 0
+			}
+			if out[ti][rep] != want {
+				t.Fatalf("out[%d][%d] = %d, want %d", ti, rep, out[ti][rep], want)
+			}
+		}
+	}
+	outPar, errsPar := run(8)
+	if !reflect.DeepEqual(out, outPar) {
+		t.Fatal("RunChecked results diverged across parallelism")
+	}
+	if len(errsPar) != 1 || errsPar[0].TrialIndex != 1 || errsPar[0].Rep != 2 {
+		t.Fatalf("parallel failure list diverged: %+v", errsPar)
+	}
+}
+
+// TestRunCheckedSortsFailures: multiple failures report in (trial, rep)
+// grid order regardless of worker scheduling.
+func TestRunCheckedSortsFailures(t *testing.T) {
+	trials := []Trial{
+		Single(app.STK(), DriverHuman),
+		Single(app.RE(), DriverHuman),
+	}
+	exec := func(tr Trial, u Unit) int { panic(u.Rep) }
+	_, errs := RunChecked(trials, exec, RunOptions{Parallel: 4, Reps: 2, BaseSeed: 1})
+	if len(errs) != 4 {
+		t.Fatalf("got %d failures, want 4", len(errs))
+	}
+	for i, pe := range errs {
+		if pe.TrialIndex != i/2 || pe.Rep != i%2 {
+			t.Fatalf("failure %d out of grid order: trial %d rep %d", i, pe.TrialIndex, pe.Rep)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 )
 
@@ -66,6 +69,38 @@ func UnitSeed(t Trial, rep int, base int64) int64 {
 	return DeriveSeed(base, t.Key(), rep)
 }
 
+// PanicError is a panic recovered from one (trial, repetition)
+// execution unit, carrying enough identity — the trial's ID, its full
+// Key() and the repetition index — to re-run the poisoned unit in
+// isolation. RunChecked returns these; Run re-raises the original
+// panic value for legacy callers.
+type PanicError struct {
+	// TrialIndex is the trial's position in the submitted grid.
+	TrialIndex int
+	// TrialID is the trial's human label (may be empty).
+	TrialID string
+	// TrialKey is the trial's Key(): the complete serialized spec, so
+	// the failing unit can be reconstructed without the original grid.
+	TrialKey string
+	// Rep is the repetition index that panicked.
+	Rep int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack string
+}
+
+// Error implements error with the trial identity first — the point is
+// that a sweep failure names the poisoned unit, not just the panic.
+func (e *PanicError) Error() string {
+	id := e.TrialID
+	if id == "" {
+		id = "(unnamed trial)"
+	}
+	return fmt.Sprintf("exp: trial %q rep %d panicked: %v\n  key: %s\n%s",
+		id, e.Rep, e.Value, e.TrialKey, e.Stack)
+}
+
 // Run executes every (trial, repetition) unit of the grid on a worker
 // pool and returns results indexed [trial][rep], in input order
 // regardless of scheduling. Each unit gets a deterministic seed via
@@ -73,8 +108,27 @@ func UnitSeed(t Trial, rep int, base int64) int64 {
 // long as exec is a pure function of (Trial, Unit).
 //
 // exec runs concurrently from multiple goroutines; a panicking exec
-// stops the run and the panic is re-raised on the caller's goroutine.
+// fails the run and the first unit's original panic value (grid order)
+// is re-raised on the caller's goroutine. Callers that want a poisoned
+// trial to fail *actionably* — as an error naming the unit, with every
+// other unit's result intact — should use RunChecked instead.
 func Run[T any](trials []Trial, exec func(Trial, Unit) T, opts RunOptions) [][]T {
+	out, errs := RunChecked(trials, exec, opts)
+	if len(errs) > 0 {
+		// Re-raise the original value so callers can still inspect a
+		// typed panic (stringifying it here would discard the type).
+		panic(errs[0].Value)
+	}
+	return out
+}
+
+// RunChecked is Run with per-unit panic isolation: a panicking exec
+// fails only its own (trial, repetition) unit — recovered into a
+// PanicError carrying the trial's ID, Key() and repetition — while
+// every other unit runs to completion and keeps its result. The zero
+// value of T is left in the failed unit's result slot. Errors are
+// returned sorted by (trial, rep), deterministic at any parallelism.
+func RunChecked[T any](trials []Trial, exec func(Trial, Unit) T, opts RunOptions) ([][]T, []*PanicError) {
 	opts = opts.normalize()
 
 	type unitRef struct {
@@ -92,7 +146,7 @@ func Run[T any](trials []Trial, exec func(Trial, Unit) T, opts RunOptions) [][]T
 		out[i] = make([]T, opts.Reps)
 	}
 	if len(units) == 0 {
-		return out
+		return out, nil
 	}
 
 	workers := opts.Parallel
@@ -100,31 +154,42 @@ func Run[T any](trials []Trial, exec func(Trial, Unit) T, opts RunOptions) [][]T
 		workers = len(units)
 	}
 
+	var mu sync.Mutex
+	var failures []*PanicError
+	runOne := func(i int) {
+		u := units[i]
+		t := trials[u.trial]
+		defer func() {
+			if r := recover(); r != nil {
+				pe := &PanicError{
+					TrialIndex: u.trial,
+					TrialID:    t.ID,
+					TrialKey:   t.Key(),
+					Rep:        u.rep,
+					Value:      r,
+					Stack:      string(debug.Stack()),
+				}
+				mu.Lock()
+				failures = append(failures, pe)
+				mu.Unlock()
+			}
+		}()
+		out[u.trial][u.rep] = exec(t, Unit{
+			TrialIndex: u.trial,
+			Rep:        u.rep,
+			Seed:       UnitSeed(t, u.rep, opts.BaseSeed),
+			Base:       opts.BaseSeed,
+		})
+	}
+
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicked = r })
-					// Drain remaining work so the feeder can finish.
-					for range idxCh {
-					}
-				}
-			}()
 			for i := range idxCh {
-				u := units[i]
-				t := trials[u.trial]
-				out[u.trial][u.rep] = exec(t, Unit{
-					TrialIndex: u.trial,
-					Rep:        u.rep,
-					Seed:       UnitSeed(t, u.rep, opts.BaseSeed),
-					Base:       opts.BaseSeed,
-				})
+				runOne(i)
 			}
 		}()
 	}
@@ -133,10 +198,15 @@ func Run[T any](trials []Trial, exec func(Trial, Unit) T, opts RunOptions) [][]T
 	}
 	close(idxCh)
 	wg.Wait()
-	if panicked != nil {
-		// Re-raise the original value so callers can still inspect a
-		// typed panic (stringifying it here would discard the type).
-		panic(panicked)
-	}
-	return out
+
+	// Scheduling decides discovery order; report in grid order so a
+	// failing sweep prints identically at any parallelism level.
+	sort.Slice(failures, func(a, b int) bool {
+		fa, fb := failures[a], failures[b]
+		if fa.TrialIndex != fb.TrialIndex {
+			return fa.TrialIndex < fb.TrialIndex
+		}
+		return fa.Rep < fb.Rep
+	})
+	return out, failures
 }

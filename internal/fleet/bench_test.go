@@ -1,0 +1,56 @@
+package fleet
+
+import "testing"
+
+// BenchmarkFaultChurnBookkeeping measures the pure fault-tolerance
+// bookkeeping path — departures, crash evictions, retry-queue drains,
+// offers and brown-out pressure over a full churn horizon — with no
+// machine execution attached. This is the per-epoch overhead the fault
+// subsystem adds to every churn trial, so it is pinned in benchguard.
+func BenchmarkFaultChurnBookkeeping(b *testing.B) {
+	const epochs = 16
+	stream, err := ChurnStream(MixHeavy, 3.0, 2.5, epochs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	timeline, err := FaultStream(4, 3.0, 1.0, epochs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol, _ := NewPolicy(PolicyLeastDemand, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Sessions are reused across iterations: reset the mutable
+		// lifecycle state so every iteration does identical work.
+		for _, arr := range stream {
+			for _, s := range arr {
+				s.Machine, s.Tier = -1, 0
+			}
+		}
+		f := NewHetero(4, []float64{8, 4})
+		c := NewChurn(f, pol)
+		c.Retry = RetryPolicy{MaxAttempts: 3, BackoffEpochs: 1}
+		for e := 0; e < epochs; e++ {
+			c.DepartDue(e)
+			for mi, m := range f.Machines {
+				st := timeline[mi][e]
+				if st == MachineDown && m.State != MachineDown {
+					m.State = st
+					c.EvictAll(mi, e)
+					continue
+				}
+				m.State = st
+			}
+			c.RetryDue(e)
+			for _, s := range stream[e] {
+				c.Offer(s, e)
+			}
+			for mi := range f.Machines {
+				if c.DegradeToFit(mi) == 0 {
+					c.UpgradeOne(mi)
+				}
+			}
+		}
+	}
+}

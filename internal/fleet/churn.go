@@ -35,7 +35,17 @@ type Session struct {
 	// Machine is the session's current machine index; -1 while
 	// unplaced or after a rejection.
 	Machine int
+	// Tier is the session's brown-out quality tier: 0 is full
+	// fidelity, higher tiers serve a reduced resolution (see
+	// DegradedProfile). Evictions reset the tier — a re-admitted
+	// session starts at full fidelity again.
+	Tier int
 }
+
+// Served returns the profile the session currently runs at: its
+// declared Profile scaled down by its brown-out tier. At tier 0 this
+// is the Profile itself, bit-identical.
+func (s *Session) Served() app.Profile { return DegradedProfile(s.Profile, s.Tier) }
 
 // ValidateChurnParams checks the churn-shape vocabulary with actionable
 // messages. It is shared by ChurnStream and the shape validators, so a
@@ -118,6 +128,19 @@ type Churn struct {
 	Rejected   int
 	Departed   int
 	Migrations int
+	// Retry configures failover for evicted and admission-rejected
+	// sessions; the zero value keeps the historical drop-on-failure
+	// behaviour (see faults.go).
+	Retry RetryPolicy
+	// Evicted, Retried, Recovered and Lost count failover lifecycle
+	// events since construction (see faults.go).
+	Evicted   int
+	Retried   int
+	Recovered int
+	Lost      int
+	// retryQ holds sessions waiting for a failover attempt, in enqueue
+	// order (deterministic: the epoch loop drains it front to back).
+	retryQ []retryEntry
 }
 
 // NewChurn wraps a fleet and a placement policy for churn-driven
@@ -129,12 +152,23 @@ func NewChurn(f *Fleet, p Placement) *Churn {
 
 // Arrive offers a session to the policy. A placed session joins its
 // machine's resident list; a rejected one keeps Machine == -1 and is
-// never retried (the tenant went elsewhere).
+// never retried (the tenant went elsewhere). Offer is the failover-
+// aware variant that enqueues rejections for retry.
 func (c *Churn) Arrive(s *Session) bool {
-	mi := c.Fleet.placeOne(s.Profile, c.Policy)
+	if c.admit(s) {
+		return true
+	}
+	s.Machine = -1
+	c.Rejected++
+	return false
+}
+
+// admit offers a session to the policy at its current served fidelity
+// and records the placement. It is the single admission path shared by
+// Arrive, Offer and RetryDue, so every outcome reverses identically.
+func (c *Churn) admit(s *Session) bool {
+	mi := c.Fleet.placeOne(s.Served(), c.Policy)
 	if mi < 0 {
-		s.Machine = -1
-		c.Rejected++
 		return false
 	}
 	s.Machine = mi
@@ -195,20 +229,20 @@ func (c *Churn) MigrateOff(mi int, rttMs []float64) bool {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return PredictedCPUDemand(c.sessions[mi][order[a]].Profile) >
-			PredictedCPUDemand(c.sessions[mi][order[b]].Profile)
+		return PredictedCPUDemand(c.sessions[mi][order[a]].Served()) >
+			PredictedCPUDemand(c.sessions[mi][order[b]].Served())
 	})
 	for _, victim := range order {
 		s := c.sessions[mi][victim]
-		d := PredictedCPUDemand(s.Profile)
+		d := PredictedCPUDemand(s.Served())
 		target := -1
 		for _, m := range c.Fleet.Machines {
-			// Targets must hold the session *without* overcommit:
-			// admission overcommits (×Overcommit) for density, but a
-			// QoS-restoring move that lands the tenant on a machine
-			// already past its un-overcommitted capacity just recreates
-			// the violation somewhere else.
-			if m.Index == mi || !m.Fits(d, 1) {
+			// Targets must be up and must hold the session *without*
+			// overcommit: admission overcommits (×Overcommit) for
+			// density, but a QoS-restoring move that lands the tenant
+			// on a machine already past its un-overcommitted capacity
+			// just recreates the violation somewhere else.
+			if m.Index == mi || m.State != MachineUp || !m.Fits(d, 1) {
 				continue
 			}
 			// A target must measure both better than the source *and*
@@ -227,7 +261,7 @@ func (c *Churn) MigrateOff(mi int, rttMs []float64) bool {
 			continue
 		}
 		c.releaseSlot(mi, victim)
-		c.Fleet.Machines[target].place(s.Profile)
+		c.Fleet.Machines[target].place(s.Served())
 		c.sessions[target] = append(c.sessions[target], s)
 		s.Machine = target
 		c.Migrations++

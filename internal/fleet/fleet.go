@@ -63,6 +63,10 @@ type Machine struct {
 	Placed []app.Profile
 	// Demand is the summed predicted CPU demand of the placed profiles.
 	Demand float64
+	// State is the machine's availability (fault injection): the
+	// zero value MachineUp keeps every fault-free fleet byte-identical
+	// to the pre-fault implementation.
+	State MachineState
 }
 
 // Fits reports whether adding demand d keeps the machine within its
@@ -87,6 +91,15 @@ func (m *Machine) place(p app.Profile) {
 // could drift negative on an empty machine.
 func (m *Machine) release(i int) {
 	m.Placed = append(m.Placed[:i], m.Placed[i+1:]...)
+	m.Demand = sumDemand(m.Placed)
+}
+
+// replace swaps the profile at slot i for p (a brown-out tier change:
+// same tenant, different served fidelity) and recomputes demand the
+// same left-to-right way place/release do, so a degrade followed by an
+// upgrade restores Demand bit-identically.
+func (m *Machine) replace(i int, p app.Profile) {
+	m.Placed[i] = p
 	m.Demand = sumDemand(m.Placed)
 }
 
@@ -193,10 +206,14 @@ func (f *Fleet) placeOne(req app.Profile, p Placement) int {
 }
 
 // feasible lists the machines that can hold one more request of demand
-// d, in index order.
+// d, in index order. Machines that are down or cold-starting (fault
+// injection) take no placements.
 func (f *Fleet) feasible(d float64) []*Machine {
 	var out []*Machine
 	for _, m := range f.Machines {
+		if m.State != MachineUp {
+			continue
+		}
 		if m.Fits(d, f.Overcommit) {
 			out = append(out, m)
 		}

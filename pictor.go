@@ -92,6 +92,9 @@ type (
 	ChurnResult = core.ChurnResult
 	// EpochResult is one churn epoch's fleet-wide outcome.
 	EpochResult = core.EpochResult
+	// TrialPanic reports one (trial, rep) unit that panicked under
+	// RunTrialsChecked, carrying the trial's ID, Key() and rep.
+	TrialPanic = exp.PanicError
 )
 
 // Placement-policy names for FleetShape.Policy.
@@ -275,6 +278,16 @@ func RunTrials(trials []Trial, cfg ExperimentConfig) [][]TrialResult {
 	return core.RunTrials(trials, cfg)
 }
 
+// RunTrialsChecked is RunTrials with per-unit fault isolation: a
+// panicking (trial, rep) unit fails only its own slot — left as the
+// zero TrialResult — and is reported as a TrialPanic identifying the
+// trial by ID and Key(). Failures are ordered by (trial, rep)
+// regardless of worker scheduling. RunTrials itself re-panics on the
+// first failure, preserving its historical contract.
+func RunTrialsChecked(trials []Trial, cfg ExperimentConfig) ([][]TrialResult, []*TrialPanic) {
+	return core.RunTrialsChecked(trials, cfg)
+}
+
 // EffectiveParallel resolves a Parallel setting the way the runner
 // does (<= 0 means every available core), for display purposes.
 func EffectiveParallel(n int) int { return exp.EffectiveParallel(n) }
@@ -342,6 +355,16 @@ func ChurnTable(r ChurnResult) string { return core.ChurnTable(r) }
 // ChurnComparisonTable renders churn outcomes side by side (static vs
 // migrate).
 func ChurnComparisonTable(rs []ChurnResult) string { return core.ChurnComparisonTable(rs) }
+
+// RunFaultComparison runs a faulty churn shape (MTBFEpochs > 0) three
+// ways as one batch — no faults, faults with drop-on-failure, and
+// faults with the shape's retry/degradation policy (defaulted to
+// 3 attempts, 1-epoch backoff and brown-out tiers when unset) — over
+// the identical tenant population, execution noise and failure
+// schedule, returning {healthy, drop, resilient}.
+func RunFaultComparison(shape FleetShape, cfg ExperimentConfig) []ChurnResult {
+	return core.RunFaultComparison(shape, cfg)
+}
 
 // RunOptimization reproduces Figure 22 for one benchmark.
 func RunOptimization(prof Profile, cfg ExperimentConfig) OptimizationResult {

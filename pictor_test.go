@@ -229,3 +229,79 @@ func TestPublicChurnExperiment(t *testing.T) {
 		t.Fatal("churn trial result missing Churn payload")
 	}
 }
+
+func TestPublicFaultExperiment(t *testing.T) {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	shape := pictor.FleetShape{
+		Machines:           3,
+		Policy:             pictor.PolicyLeastDemand,
+		Mix:                pictor.MixHeavy,
+		CoreClasses:        "8,8,4",
+		Epochs:             4,
+		ArrivalRate:        2,
+		MeanSessionEpochs:  3,
+		MTBFEpochs:         3,
+		MTTREpochs:         1,
+		RetryAttempts:      3,
+		RetryBackoffEpochs: 1,
+		Degrade:            true,
+	}
+	rs := pictor.RunFaultComparison(shape, cfg)
+	if len(rs) != 3 {
+		t.Fatalf("fault comparison must return {healthy, drop, resilient}, got %d rows", len(rs))
+	}
+	healthy, drop, resilient := rs[0], rs[1], rs[2]
+	if healthy.Faulty || !drop.Faulty || !resilient.Faulty {
+		t.Fatalf("fault echoes wrong: %t %t %t", healthy.Faulty, drop.Faulty, resilient.Faulty)
+	}
+	if healthy.Arrivals != drop.Arrivals || drop.Arrivals != resilient.Arrivals {
+		t.Fatal("all three runs must churn the identical tenant population")
+	}
+	if healthy.Crashes != 0 || drop.Crashes == 0 || drop.Crashes != resilient.Crashes {
+		t.Fatalf("drop and resilient must see the identical failure schedule: %d vs %d (healthy %d)",
+			drop.Crashes, resilient.Crashes, healthy.Crashes)
+	}
+	if healthy.Availability <= 0 || drop.Availability <= 0 || resilient.Availability <= 0 {
+		t.Fatalf("availability must be reported: %+v", []float64{healthy.Availability, drop.Availability, resilient.Availability})
+	}
+	if s := pictor.ChurnComparisonTable(rs); len(s) == 0 {
+		t.Fatal("fault comparison table must render")
+	}
+}
+
+// TestPublicCheckedTrialIsolation: a deliberately poisoned trial (fault
+// parameters on a non-churn shape panic during execution) fails only
+// its own repetitions, names itself by Key() in the error, and leaves
+// every healthy trial's results intact.
+func TestPublicCheckedTrialIsolation(t *testing.T) {
+	cfg := pictor.DefaultExperimentConfig()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	cfg.Reps = 2
+	healthy := pictor.SingleTrial(pictor.SuiteByName("RE"), pictor.Human)
+	poisoned := pictor.FleetTrialOf(pictor.FleetShape{
+		Machines: 2, Policy: pictor.PolicyLeastCount, Mix: pictor.MixHeavy,
+		MTBFEpochs: 5, MTTREpochs: 1, // faults without churn: invalid by construction
+	})
+	poisoned.ID = "poisoned"
+	// Pin the windows so the reported Key() matches this handle's
+	// (unset windows inherit the config's at run time).
+	poisoned.Warmup, poisoned.Measure = cfg.WarmupSeconds, cfg.Seconds
+	out, errs := pictor.RunTrialsChecked([]pictor.Trial{healthy, poisoned}, cfg)
+	if len(errs) != cfg.Reps {
+		t.Fatalf("got %d failures, want one per poisoned rep (%d)", len(errs), cfg.Reps)
+	}
+	for i, pe := range errs {
+		if pe.TrialIndex != 1 || pe.Rep != i {
+			t.Fatalf("failure %d misattributed: trial %d rep %d", i, pe.TrialIndex, pe.Rep)
+		}
+		if pe.TrialKey != poisoned.Key() {
+			t.Fatalf("failure key %q must be the poisoned trial's Key() %q", pe.TrialKey, poisoned.Key())
+		}
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		if len(out[0][rep].Results) == 0 || out[0][rep].PowerWatts <= 0 {
+			t.Fatalf("healthy trial rep %d lost its results to the poisoned trial", rep)
+		}
+	}
+}

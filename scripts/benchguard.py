@@ -10,11 +10,18 @@ pinned benchmark's ns/op regressed by more than the tolerance
 (BENCH_GUARD_TOLERANCE, default 0.20 = 20%).
 
 Only the pinned set below is enforced: these are the per-frame hot
-leaves whose cost the evaluation's wall-clock floor is built on, and
-they are stable enough (no allocation churn, no I/O) that a >20% move
-is a code regression, not noise. Benchmarks missing on either side are
-reported but do not fail the guard, so the pin set and the recorded
-JSON can evolve independently.
+leaves whose cost the evaluation's wall-clock floor is built on (plus
+the fault-churn bookkeeping loop, the per-epoch overhead every fault
+trial pays), and they are stable enough (no allocation churn, no I/O)
+that a >20% move is a code regression, not noise.
+
+A pinned benchmark with no recorded entry in the JSON fails the guard:
+a silently missing pin is indistinguishable from an unguarded
+regression. A pinned benchmark absent from the *fresh run* is only
+reported — the CI bench regex and the pin set can evolve independently
+— but a missing recorded number means someone pinned a benchmark
+without recording it (or renamed one without updating the JSON), and
+the fix is to add its numbers to the JSON section.
 """
 import json
 import os
@@ -31,6 +38,7 @@ PINNED = [
     "BenchmarkLSTMStep",
     "BenchmarkDenseForward",
     "BenchmarkTracerFramePath",
+    "BenchmarkFaultChurnBookkeeping",
 ]
 
 
@@ -41,12 +49,21 @@ def main():
     fresh = parse(bench_out)
     with open(json_path) as fh:
         doc = json.load(fh)
+    if section not in doc or "benchmarks" not in doc.get(section, {}):
+        print(f"benchguard: FAIL: {json_path} has no [{section}][benchmarks] "
+              f"section (sections present: {', '.join(sorted(doc))}) — "
+              f"pass an existing section name or record one")
+        return 1
     recorded = doc[section]["benchmarks"]
 
     failures = []
     for name in PINNED:
         if name not in recorded:
-            print(f"benchguard: {name}: no recorded entry in [{section}] — skipped")
+            print(f"benchguard: FAIL: {name} is pinned but has no recorded "
+                  f"entry in [{section}] of {json_path} — record its "
+                  f"ns_op there (run `go test -bench '{name}$' -benchtime "
+                  f"500ms` and add the result) or unpin it")
+            failures.append(name)
             continue
         if name not in fresh:
             print(f"benchguard: {name}: not present in this run — skipped")
@@ -62,7 +79,8 @@ def main():
 
     if failures:
         print(f"benchguard: FAIL: {len(failures)} pinned benchmark(s) regressed "
-              f">{tolerance:.0%} vs [{section}] of {json_path}: {', '.join(failures)}")
+              f">{tolerance:.0%} or went unrecorded vs [{section}] of "
+              f"{json_path}: {', '.join(failures)}")
         return 1
     print(f"benchguard: all pinned benchmarks within {tolerance:.0%} of [{section}]")
     return 0
