@@ -34,6 +34,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,7 +49,6 @@ import (
 )
 
 func main() {
-	expID := flag.String("exp", "all", "experiment id (tab2, tab3, tab4, fig6..fig22, overhead, grid) or 'all'")
 	seconds := flag.Float64("seconds", 45, "measurement window (simulated seconds)")
 	seed := flag.Int64("seed", 1, "simulation seed (0 switches to per-trial derived seeds)")
 	instances := flag.Int("max-instances", 4, "sweep upper bound for figs 10–17")
@@ -62,29 +63,17 @@ func main() {
 	duration := flag.Float64("duration", 5, "churn experiment: mean session length in epochs (exponential)")
 	epochs := flag.Int("epochs", 10, "churn experiment: epoch count")
 	migrate := flag.Bool("migrate", true, "churn experiment: enable the RTT-driven migration controller in the detailed run")
-	mtbf := flag.Float64("mtbf", 0, "churn/faults experiments: mean epochs between machine crashes (0 = no faults; faults requires -mttr > 0)")
-	mttr := flag.Float64("mttr", 0, "churn/faults experiments: mean epochs to repair a crashed machine")
+	mtbf := flag.Float64("mtbf", 0, "churn/faults experiments: mean epochs between machine crashes (0 = no faults for churn, 5 for faults)")
+	mttr := flag.Float64("mttr", 0, "churn/faults experiments: mean epochs to repair a crashed machine (0 = 1 for faults; requires -mtbf)")
 	retries := flag.Int("retries", 0, "churn/faults experiments: failover retry attempts per evicted/rejected session (0 = drop on failure)")
 	backoff := flag.Int("backoff", 1, "churn/faults experiments: base retry backoff in epochs (doubles per attempt)")
 	degrade := flag.Bool("degrade", false, "churn/faults experiments: enable brown-out QoS tiers (degrade resolution before evicting)")
 	profiles := flag.String("profiles", "", fmt.Sprintf("workload set: comma-separated profile names, \"all\" for every registered profile, empty for the paper's six (registered: %s)", strings.Join(app.Names(), ",")))
-	flag.Parse()
 
-	if _, err := app.Resolve(*profiles); err != nil {
-		fatalf("-profiles: %v", err)
-	}
-
-	cfg := core.DefaultExperimentConfig()
-	cfg.Seconds = *seconds
-	cfg.Seed = *seed
-	cfg.MaxInstances = *instances
-	if cfg.MaxInstances < 1 {
-		cfg.MaxInstances = 1
-	}
-	cfg.Parallel = *parallel
-	cfg.Reps = *reps
-	cfg.Profiles = *profiles
-
+	// The dispatch map is built before -exp so its usage string is
+	// derived from the map itself and cannot drift from the vocabulary
+	// (the closures dereference flag pointers only when invoked, after
+	// flag.Parse below).
 	all := map[string]func(core.ExperimentConfig){
 		"tab2": tab2, "tab3": tab3, "tab4": tab4,
 		"fig6": fig6, "fig7": fig7, "overhead": overhead,
@@ -108,6 +97,24 @@ func main() {
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22"}
 
+	expID := flag.String("exp", "all", fmt.Sprintf("experiment id (%s) or 'all'", strings.Join(experimentIDs(all), ", ")))
+	flag.Parse()
+
+	if _, err := app.Resolve(*profiles); err != nil {
+		fatalf("-profiles: %v", err)
+	}
+
+	cfg := core.DefaultExperimentConfig()
+	cfg.Seconds = *seconds
+	cfg.Seed = *seed
+	cfg.MaxInstances = *instances
+	if cfg.MaxInstances < 1 {
+		cfg.MaxInstances = 1
+	}
+	cfg.Parallel = *parallel
+	cfg.Reps = *reps
+	cfg.Profiles = *profiles
+
 	id := strings.ToLower(*expID)
 	if id == "all" {
 		for _, e := range order {
@@ -126,6 +133,47 @@ func main() {
 }
 
 func banner(id string) { fmt.Printf("\n========== %s ==========\n", id) }
+
+// experimentIDs lists the -exp vocabulary in natural order (fig6 before
+// fig10), derived from the dispatch map itself so the usage string can
+// never omit an experiment the binary actually accepts.
+func experimentIDs(all map[string]func(core.ExperimentConfig)) []string {
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return naturalLess(ids[i], ids[j]) })
+	return ids
+}
+
+// naturalLess orders strings comparing embedded digit runs numerically.
+func naturalLess(a, b string) bool {
+	for a != "" && b != "" {
+		ha, ta := chunk(a)
+		hb, tb := chunk(b)
+		if ha != hb {
+			na, errA := strconv.Atoi(ha)
+			nb, errB := strconv.Atoi(hb)
+			if errA == nil && errB == nil {
+				return na < nb
+			}
+			return ha < hb
+		}
+		a, b = ta, tb
+	}
+	return a < b
+}
+
+// chunk splits off the leading run of digits or of non-digits.
+func chunk(s string) (head, tail string) {
+	digit := func(c byte) bool { return c >= '0' && c <= '9' }
+	isDigit := digit(s[0])
+	i := 1
+	for i < len(s) && digit(s[i]) == isDigit {
+		i++
+	}
+	return s[:i], s[i:]
+}
 
 func tab2(cfg core.ExperimentConfig) {
 	var rows [][]string
@@ -406,24 +454,6 @@ func suiteOf(cfg core.ExperimentConfig) []app.Profile {
 	return ps
 }
 
-// validateFleetFlags checks the flag vocabulary shared by the fleet and
-// churn experiments before anything runs, so a typo fails with the
-// valid names instead of a panic mid-experiment.
-func validateFleetFlags(machines int, policy, mix, cores string) {
-	if machines < 1 {
-		fatalf("-machines must be >= 1, got %d", machines)
-	}
-	if _, err := fleet.NewPolicy(policy, nil); err != nil {
-		fatalf("%v", err)
-	}
-	if _, err := fleet.RequestStream(fleet.Mix(mix), 1, 1); err != nil {
-		fatalf("%v", err)
-	}
-	if _, err := fleet.ParseCoreClasses(cores); err != nil {
-		fatalf("-cores: %v", err)
-	}
-}
-
 // coreDesc describes a fleet's machine sizing for banners.
 func coreDesc(cores string) string {
 	if cores != "" {
@@ -450,17 +480,18 @@ func profilesDesc(profiles string) string {
 // workload set the arrival mix draws from (e.g. "all" sweeps every
 // registered scenario family through the fleet).
 func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, requests int, cores, profiles string) {
-	validateFleetFlags(machines, policy, mix, cores)
-	if requests < 0 {
-		fatalf("-requests must be >= 1 (or 0 for the 3-per-machine default), got %d", requests)
+	norm, err := core.ExperimentSpec{
+		Kind: core.SpecFleet, Profiles: profiles,
+		Seconds: cfg.Seconds, Warmup: cfg.WarmupSeconds, Seed: &cfg.Seed, Reps: cfg.Reps,
+		Machines: machines, Policy: policy, Mix: mix, Requests: requests, CoreClasses: cores,
+	}.Normalize()
+	if err != nil {
+		fatalf("%v", err)
 	}
-	if requests == 0 {
-		requests = 3 * machines
-	}
-	shape := exp.FleetShape{Machines: machines, Policy: policy, Mix: mix, Requests: requests, CoreClasses: cores, Profiles: profiles}
+	shape := norm.Shape()
 
 	fmt.Printf("fleet: %d machines × %s, %d requests (%s mix over %s), %d workers, %d rep(s)\n\n",
-		machines, coreDesc(cores), requests, mix, profilesDesc(profiles),
+		norm.Machines, coreDesc(norm.CoreClasses), norm.Requests, norm.Mix, profilesDesc(profiles),
 		exp.EffectiveParallel(cfg.Parallel), exp.EffectiveReps(cfg.Reps))
 
 	r := core.RunFleetConsolidation(shape, cfg)
@@ -496,18 +527,20 @@ func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, reque
 // the static-vs-migrate comparison over the identical tenant
 // population.
 func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) {
-	shape := churnShape(machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
+	norm := churnSpec(core.SpecChurn, cfg, machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
 		mtbf, mttr, retries, backoff, degrade)
+	shape := norm.Shape()
 
 	mode := "static"
 	if migrate {
 		mode = "RTT-driven migration"
 	}
 	if shape.Faulty() {
-		mode += fmt.Sprintf(", faults mtbf=%g mttr=%g", mtbf, mttr)
+		mode += fmt.Sprintf(", faults mtbf=%g mttr=%g", norm.MTBF, norm.MTTR)
 	}
 	fmt.Printf("churn: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, %s\n\n",
-		machines, coreDesc(cores), policy, mix, profilesDesc(profiles), rate, duration, epochs, mode)
+		norm.Machines, coreDesc(norm.CoreClasses), norm.Policy, norm.Mix, profilesDesc(profiles),
+		norm.Rate, norm.Duration, norm.Epochs, mode)
 
 	// One comparison batch covers both displays: the detailed per-epoch
 	// view picks the -migrate side out of it (re-running RunFleetChurn
@@ -527,36 +560,22 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profi
 	fmt.Printf("complete in %s (wall)\n", time.Since(start).Round(time.Millisecond))
 }
 
-// churnShape validates the shared churn/fault flag vocabulary and
-// assembles the fleet shape, so both experiments fail on a typo before
-// anything runs.
-func churnShape(machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) exp.FleetShape {
-	validateFleetFlags(machines, policy, mix, cores)
-	if err := fleet.ValidateChurnParams(rate, duration, epochs); err != nil {
-		fatalf("-rate/-duration/-epochs: %v", err)
+// churnSpec assembles and normalizes the shared churn/faults flag
+// vocabulary through core.ExperimentSpec — the exact validation the
+// pictor-server control plane applies — so a typo fails before anything
+// runs and the two frontends cannot drift.
+func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) core.ExperimentSpec {
+	norm, err := core.ExperimentSpec{
+		Kind: kind, Profiles: profiles,
+		Seconds: cfg.Seconds, Warmup: cfg.WarmupSeconds, Seed: &cfg.Seed, Reps: cfg.Reps,
+		Machines: machines, Policy: policy, Mix: mix, CoreClasses: cores,
+		Rate: rate, Duration: duration, Epochs: epochs, Migrate: &migrate,
+		MTBF: mtbf, MTTR: mttr, Retries: retries, Backoff: backoff, Degrade: degrade,
+	}.Normalize()
+	if err != nil {
+		fatalf("%v", err)
 	}
-	if err := fleet.ValidateFaultParams(mtbf, mttr); err != nil {
-		fatalf("-mtbf/-mttr: %v", err)
-	}
-	if retries < 0 || backoff < 0 {
-		fatalf("-retries and -backoff must be >= 0, got %d and %d", retries, backoff)
-	}
-	return exp.FleetShape{
-		Machines:           machines,
-		Policy:             policy,
-		Mix:                mix,
-		CoreClasses:        cores,
-		Profiles:           profiles,
-		Epochs:             epochs,
-		ArrivalRate:        rate,
-		MeanSessionEpochs:  duration,
-		Migrate:            migrate,
-		MTBFEpochs:         mtbf,
-		MTTREpochs:         mttr,
-		RetryAttempts:      retries,
-		RetryBackoffEpochs: backoff,
-		Degrade:            degrade,
-	}
+	return norm
 }
 
 // faultsExp injects machine crashes into the churn simulation and
@@ -564,16 +583,16 @@ func churnShape(machines int, policy, mix, cores, profiles string, rate, duratio
 // population and failure schedule: no faults, drop-on-failure, and
 // session failover with retry/backoff plus brown-out degradation.
 func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) {
-	if mtbf == 0 {
-		// The experiment is about faults: default to a crash every 5
-		// epochs with a 1-epoch repair unless the user says otherwise.
-		mtbf, mttr = 5, 1
-	}
-	shape := churnShape(machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
+	// Normalize defaults the fault knobs independently (mtbf 5, mttr 1
+	// when unset), so an explicit -mttr survives an unset -mtbf default
+	// instead of being clobbered to the pair.
+	norm := churnSpec(core.SpecFaults, cfg, machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
 		mtbf, mttr, retries, backoff, degrade)
+	shape := norm.Shape()
 
 	fmt.Printf("faults: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, MTBF %g MTTR %g\n\n",
-		machines, coreDesc(cores), policy, mix, profilesDesc(profiles), rate, duration, epochs, mtbf, mttr)
+		norm.Machines, coreDesc(norm.CoreClasses), norm.Policy, norm.Mix, profilesDesc(profiles),
+		norm.Rate, norm.Duration, norm.Epochs, norm.MTBF, norm.MTTR)
 
 	start := time.Now()
 	rs := core.RunFaultComparison(shape, cfg)

@@ -479,12 +479,20 @@ func RunChurnComparison(shape exp.FleetShape, cfg ExperimentConfig) []ChurnResul
 		panic(fmt.Sprintf("core: RunChurnComparison needs a churn shape (Epochs >= 1, got %d); use RunFleetComparison for one-shot admission", shape.Epochs))
 	}
 	validateFleetShape(shape)
+	trials := churnComparisonTrials(shape, cfg)
+	all := RunTrials(trials, cfg)
+	return []ChurnResult{mergeChurn(all[0]), mergeChurn(all[1])}
+}
+
+// churnComparisonTrials is the comparison's trial batch — {static,
+// migrated} over the identical tenant population. Shared with the
+// benchmark service's spec lowering so a served "churn" job runs
+// exactly the CLI's batch.
+func churnComparisonTrials(shape exp.FleetShape, cfg ExperimentConfig) []exp.Trial {
 	static, migrated := shape, shape
 	static.Migrate = false
 	migrated.Migrate = true
-	trials := []exp.Trial{churnTrial(static, cfg), churnTrial(migrated, cfg)}
-	all := RunTrials(trials, cfg)
-	return []ChurnResult{mergeChurn(all[0]), mergeChurn(all[1])}
+	return []exp.Trial{churnTrial(static, cfg), churnTrial(migrated, cfg)}
 }
 
 // ChurnTable renders one churn outcome as per-epoch rows — session

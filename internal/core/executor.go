@@ -18,8 +18,9 @@ type TrialResult struct {
 	// Cluster is the executed system, retained only when the trial
 	// sets KeepSystem (e.g. the Chen et al. stage-sum baseline reads
 	// the human run's raw trace). Nil otherwise, so grids release each
-	// simulated machine as soon as its trial finishes.
-	Cluster *Cluster
+	// simulated machine as soon as its trial finishes. Excluded from
+	// JSON: a simulated machine is not a measurement.
+	Cluster *Cluster `json:"-"`
 	// Fleet holds the multi-server outcome when the trial has a
 	// one-shot fleet shape; Results is empty in that case (instances
 	// live under Fleet.Machines).

@@ -508,13 +508,36 @@ type SuiteGridResult struct {
 // optimization × framework overhead, over every benchmark of the
 // selected suite (cfg.Profiles; the paper's six by default) — into
 // one flat trial grid and executes it on the parallel runner. Trials
-// with identical keys (e.g. the single-instance human baseline that
-// several experiments share) run once and fan out to every consumer.
+// with identical canonical keys (e.g. the single-instance human
+// baseline that several experiments share) run once and fan out to
+// every consumer.
 func RunSuiteGrid(cfg ExperimentConfig) SuiteGridResult {
+	out, trials, finishers := suiteGridPlan(cfg)
+	all := RunTrials(trials, cfg)
+	for _, fin := range finishers {
+		fin(all)
+	}
+	return *out
+}
+
+// SuiteGridTrials is the grid's deduplicated flat trial list without
+// executing it — the benchmark service lowers "grid" specs through this
+// so the server runs exactly the batch the CLI would.
+func SuiteGridTrials(cfg ExperimentConfig) []exp.Trial {
+	_, trials, _ := suiteGridPlan(cfg)
+	return trials
+}
+
+// suiteGridPlan builds the grid: the (empty) result holder, the
+// deduplicated trial list, and one finisher per constituent experiment
+// that folds that experiment's rows into the holder once results exist.
+// Dedup keys on exp.Trial.CanonicalKey — the as-executed identity — so
+// two spellings the executor runs identically share one execution.
+func suiteGridPlan(cfg ExperimentConfig) (*SuiteGridResult, []exp.Trial, []func(all [][]TrialResult)) {
 	if cfg.MaxInstances < 1 {
 		cfg.MaxInstances = 1
 	}
-	out := SuiteGridResult{
+	out := &SuiteGridResult{
 		Methodology:      map[string][]MethodologyResult{},
 		Characterization: map[string][][]InstanceResult{},
 		PowerWatts:       map[string][]float64{},
@@ -527,7 +550,7 @@ func RunSuiteGrid(cfg ExperimentConfig) SuiteGridResult {
 	var trials []exp.Trial
 	index := map[string]int{}
 	add := func(t exp.Trial) int {
-		k := t.Key()
+		k := t.CanonicalKey()
 		if i, ok := index[k]; ok {
 			// Deduplicated trials run once for all consumers; if any
 			// consumer needs the executed system, the shared run keeps it.
@@ -596,11 +619,7 @@ func RunSuiteGrid(cfg ExperimentConfig) SuiteGridResult {
 		})
 	}
 
-	all := RunTrials(trials, cfg)
-	for _, fin := range finishers {
-		fin(all)
-	}
-	return out
+	return out, trials, finishers
 }
 
 // ---------------------------------------------------------------------------

@@ -34,7 +34,16 @@ func RunFaultComparison(shape exp.FleetShape, cfg ExperimentConfig) []ChurnResul
 		panic("core: RunFaultComparison needs fault injection (MTBFEpochs > 0); use RunChurnComparison for fault-free fleets")
 	}
 	validateFleetShape(shape)
+	trials := faultComparisonTrials(shape, cfg)
+	all := RunTrials(trials, cfg)
+	return []ChurnResult{mergeChurn(all[0]), mergeChurn(all[1]), mergeChurn(all[2])}
+}
 
+// faultComparisonTrials is the comparison's trial batch — {healthy,
+// drop, resilient} under the identical failure schedule. Shared with
+// the benchmark service's spec lowering so a served "faults" job runs
+// exactly the CLI's batch.
+func faultComparisonTrials(shape exp.FleetShape, cfg ExperimentConfig) []exp.Trial {
 	healthy := shape
 	healthy.MTBFEpochs, healthy.MTTREpochs = 0, 0
 	healthy.RetryAttempts, healthy.RetryBackoffEpochs = 0, 0
@@ -51,11 +60,9 @@ func RunFaultComparison(shape exp.FleetShape, cfg ExperimentConfig) []ChurnResul
 		resilient.Degrade = true
 	}
 
-	trials := []exp.Trial{
+	return []exp.Trial{
 		churnTrial(healthy, cfg),
 		churnTrial(drop, cfg),
 		churnTrial(resilient, cfg),
 	}
-	all := RunTrials(trials, cfg)
-	return []ChurnResult{mergeChurn(all[0]), mergeChurn(all[1]), mergeChurn(all[2])}
 }

@@ -462,6 +462,20 @@ func RunFleetComparison(shape exp.FleetShape, cfg ExperimentConfig) []FleetResul
 	}
 	shape.Policy = ""
 	validateFleetShape(shape)
+	trials := fleetComparisonTrials(shape, cfg)
+	all := RunTrials(trials, cfg)
+	out := make([]FleetResult, len(trials))
+	for i, reps := range all {
+		out[i] = mergeFleet(reps)
+	}
+	return out
+}
+
+// fleetComparisonTrials is the comparison's trial batch — one trial per
+// placement policy in fleet.PolicyNames order, all consolidating the
+// identical arrival stream. Shared with the benchmark service's spec
+// lowering so a served "fleet" job runs exactly the CLI's batch.
+func fleetComparisonTrials(shape exp.FleetShape, cfg ExperimentConfig) []exp.Trial {
 	names := fleet.PolicyNames()
 	trials := make([]exp.Trial, len(names))
 	for i, name := range names {
@@ -469,12 +483,7 @@ func RunFleetComparison(shape exp.FleetShape, cfg ExperimentConfig) []FleetResul
 		s.Policy = name
 		trials[i] = fleetTrial(s, cfg)
 	}
-	all := RunTrials(trials, cfg)
-	out := make([]FleetResult, len(names))
-	for i, reps := range all {
-		out[i] = mergeFleet(reps)
-	}
-	return out
+	return trials
 }
 
 // FleetComparisonTable renders policy-comparison rows: placement and

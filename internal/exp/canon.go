@@ -1,0 +1,81 @@
+package exp
+
+import "pictor/internal/fleet"
+
+// Key canonicalization. Trial.Key() is byte-stable by contract — every
+// historical derived seed, stream and golden fixture hangs off it — but
+// it serializes the shape as *written*, not as *executed*: several
+// distinct spellings of a FleetShape run identically (the executor
+// defaults them at lowering time). A result cache keyed by the raw key
+// would silently miss on those spellings; Normalize and CanonicalKey
+// exist so caches and dedup key the as-executed shape while raw keys
+// (and therefore seeds) never move.
+
+// Normalize returns the shape as the executor actually runs it, mapping
+// every as-executed-equivalent spelling onto one representative:
+//
+//   - Machines < 1 executes as 1 (buildFleet clamps).
+//   - An empty Policy executes as round-robin, an empty Mix as the
+//     suite mix (fleet.NewPolicy / the stream generators default them).
+//   - When CoreClasses is set it wins and MachineCores is never read;
+//     otherwise MachineCores <= 0 executes as the paper testbed's
+//     fleet.DefaultMachineCores.
+//   - Churn shapes ignore Requests (arrivals come from the Poisson
+//     process); one-shot shapes ignore every churn knob.
+//   - With failover enabled, RetryBackoffEpochs < 1 executes as 1
+//     (fleet's retry queue clamps); with RetryAttempts <= 0 the backoff
+//     is never read.
+//   - With MTBFEpochs <= 0 fault injection is off and MTTREpochs is
+//     never read.
+//
+// Normalize does not validate: shapes the executor would reject (an
+// unknown policy name, a one-shot shape with Requests < 1) pass through
+// for the validators to report.
+func (f FleetShape) Normalize() FleetShape {
+	if f.Machines < 1 {
+		f.Machines = 1
+	}
+	if f.Policy == "" {
+		f.Policy = fleet.PolicyRoundRobin
+	}
+	if f.Mix == "" {
+		f.Mix = string(fleet.MixSuite)
+	}
+	if f.CoreClasses != "" {
+		f.MachineCores = 0
+	} else if f.MachineCores <= 0 {
+		f.MachineCores = fleet.DefaultMachineCores
+	}
+	if f.Churn() {
+		f.Requests = 0
+	} else {
+		f.Migrate = false
+		f.ArrivalRate = 0
+		f.MeanSessionEpochs = 0
+	}
+	if f.RetryAttempts <= 0 {
+		f.RetryAttempts = 0
+		f.RetryBackoffEpochs = 0
+	} else if f.RetryBackoffEpochs < 1 {
+		f.RetryBackoffEpochs = 1
+	}
+	if f.MTBFEpochs <= 0 {
+		f.MTBFEpochs, f.MTTREpochs = 0, 0
+	}
+	return f
+}
+
+// CanonicalKey is Key() over the normalized (as-executed) fleet shape:
+// two trials that the executor runs identically share a canonical key
+// even when their raw keys differ (e.g. MachineCores 0 vs 8, or retry
+// backoff 0 vs 1). Result stores and grid dedup key on this; seed
+// derivation stays on the raw Key() so every historical seed and golden
+// fixture is untouched. For non-fleet trials the canonical key equals
+// the raw key (instance specs already serialize canonically).
+func (t Trial) CanonicalKey() string {
+	if t.Fleet != nil {
+		f := t.Fleet.Normalize()
+		t.Fleet = &f
+	}
+	return t.Key()
+}

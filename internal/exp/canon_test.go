@@ -1,0 +1,103 @@
+package exp
+
+import "testing"
+
+// TestCanonicalKeyCollidesAsExecutedShapes: each pair spells the same
+// as-executed fleet differently; raw keys split them (historical byte
+// stability) while canonical keys — the cache/dedup identity — collide.
+func TestCanonicalKeyCollidesAsExecutedShapes(t *testing.T) {
+	churn := FleetShape{Machines: 4, Policy: "binpack", Epochs: 6, ArrivalRate: 1.6, MeanSessionEpochs: 5}
+	withBackoff := func(f FleetShape, backoff int) FleetShape {
+		f.MTBFEpochs, f.MTTREpochs = 5, 1
+		f.RetryAttempts, f.RetryBackoffEpochs = 2, backoff
+		return f
+	}
+	withRequests := func(f FleetShape, req int) FleetShape {
+		f.Requests = req
+		return f
+	}
+	pairs := []struct {
+		name string
+		a, b FleetShape
+	}{
+		{"retry backoff 0 executes as 1",
+			withBackoff(churn, 0), withBackoff(churn, 1)},
+		{"machine cores 0 executes as the testbed default",
+			FleetShape{Machines: 3, Policy: "binpack", Mix: "shuffled", Requests: 8, MachineCores: 0},
+			FleetShape{Machines: 3, Policy: "binpack", Mix: "shuffled", Requests: 8, MachineCores: 8}},
+		{"churn shapes ignore the one-shot request stream length",
+			withRequests(churn, 7), withRequests(churn, 0)},
+		{"empty policy executes as round-robin",
+			FleetShape{Machines: 2, Requests: 4},
+			FleetShape{Machines: 2, Policy: "roundrobin", Requests: 4}},
+		{"empty mix executes as the suite mix",
+			FleetShape{Machines: 2, Requests: 4},
+			FleetShape{Machines: 2, Mix: "suite", Requests: 4}},
+		{"core classes win over machine cores",
+			FleetShape{Machines: 2, Requests: 4, CoreClasses: "8,4", MachineCores: 0},
+			FleetShape{Machines: 2, Requests: 4, CoreClasses: "8,4", MachineCores: 16}},
+	}
+	for _, p := range pairs {
+		ta, tb := FleetTrial(p.a), FleetTrial(p.b)
+		ta.Warmup, ta.Measure = 1, 5
+		tb.Warmup, tb.Measure = 1, 5
+		if ta.CanonicalKey() != tb.CanonicalKey() {
+			t.Errorf("%s: canonical keys differ:\n a %q\n b %q",
+				p.name, ta.CanonicalKey(), tb.CanonicalKey())
+		}
+		if ta.Key() == tb.Key() {
+			t.Errorf("%s: raw keys must stay distinct (byte stability), both %q",
+				p.name, ta.Key())
+		}
+	}
+}
+
+// TestCanonicalKeySeparatesDistinctShapes: normalization must not
+// over-collapse — genuinely different executions keep distinct keys.
+func TestCanonicalKeySeparatesDistinctShapes(t *testing.T) {
+	base := FleetShape{Machines: 4, Policy: "binpack", Epochs: 6, ArrivalRate: 1.6, MeanSessionEpochs: 5,
+		MTBFEpochs: 5, MTTREpochs: 1, RetryAttempts: 2, RetryBackoffEpochs: 1}
+	variants := []func(FleetShape) FleetShape{
+		func(f FleetShape) FleetShape { f.RetryBackoffEpochs = 2; return f },
+		func(f FleetShape) FleetShape { f.MachineCores = 4; return f },
+		func(f FleetShape) FleetShape { f.Machines = 5; return f },
+		func(f FleetShape) FleetShape { f.Migrate = true; return f },
+		func(f FleetShape) FleetShape { f.MTTREpochs = 2; return f },
+		func(f FleetShape) FleetShape { f.Degrade = true; return f },
+	}
+	bt := FleetTrial(base)
+	bt.Warmup, bt.Measure = 1, 5
+	seen := map[string]bool{bt.CanonicalKey(): true}
+	for i, v := range variants {
+		vt := FleetTrial(v(base))
+		vt.Warmup, vt.Measure = 1, 5
+		k := vt.CanonicalKey()
+		if seen[k] {
+			t.Errorf("variant %d collapsed onto an existing canonical key %q", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestCanonicalKeyLeavesRawKeyByteStable: CanonicalKey is a parallel
+// identity — calling it must not perturb Key(), and the legacy raw key
+// literal (the one every historical seed derives from) must not move.
+func TestCanonicalKeyLeavesRawKeyByteStable(t *testing.T) {
+	tr := FleetTrial(FleetShape{Machines: 3, Policy: "binpack", Mix: "shuffled", Requests: 8})
+	tr.Warmup, tr.Measure = 1, 5
+	const legacy = "w=1;m=5;s=0|fleet:n=3:pol=binpack:mix=shuffled:req=8:cores=0"
+	if got := tr.CanonicalKey(); got != "w=1;m=5;s=0|fleet:n=3:pol=binpack:mix=shuffled:req=8:cores=8" {
+		t.Fatalf("canonical key = %q", got)
+	}
+	if got := tr.Key(); got != legacy {
+		t.Fatalf("raw key moved after CanonicalKey():\n got %q\nwant %q", got, legacy)
+	}
+	if tr.Fleet.MachineCores != 0 || tr.Fleet.Policy != "binpack" {
+		t.Fatal("CanonicalKey must not mutate the trial's shape in place")
+	}
+	// Non-fleet trials already serialize canonically.
+	single := Trial{Instances: []InstanceSpec{{}}, Warmup: 1, Measure: 5}
+	if single.CanonicalKey() != single.Key() {
+		t.Fatalf("non-fleet canonical key diverged: %q vs %q", single.CanonicalKey(), single.Key())
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"encoding/csv"
+	"net/http"
+	"strconv"
+
+	"pictor/internal/core"
+)
+
+// exportJSON is the /jobs/{id}/results payload: the job's status, the
+// normalized spec it ran, and every completed trial with its
+// per-repetition results. Served while running too — the records list
+// is simply what has finished so far.
+type exportJSON struct {
+	Job    JobStatus           `json:"job"`
+	Spec   core.ExperimentSpec `json:"spec"`
+	Trials []TrialRecord       `json:"trials"`
+}
+
+func (s *Server) handleResultsJSON(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, exportJSON{
+		Job:    j.Status(),
+		Spec:   j.Spec,
+		Trials: j.snapshotRecords(),
+	})
+}
+
+// csvHeader is the fixed column union across all result shapes. Every
+// row carries the trial identity and rep; scope says which shape the
+// row describes — "instance" (one placed/co-located instance, with a
+// machine index for fleet trials), "fleet" (one-shot fleet rollup),
+// "churn" (horizon rollup) or "epoch" (one churn epoch). Inapplicable
+// cells are empty, so the file loads into any dataframe tool without
+// per-kind schemas.
+var csvHeader = []string{
+	"trial", "key", "cached", "rep", "seed", "scope",
+	"machine", "epoch", "instance", "benchmark",
+	"server_fps", "client_fps", "rtt_mean_ms", "rtt_p99_ms",
+	"qos_violations", "power_watts",
+	"placed", "rejected", "arrivals", "departures", "migrations",
+	"crashes", "evicted", "retried", "recovered", "lost",
+	"degraded", "active", "availability",
+}
+
+// csvRow builds one row with empty defaults; set fills named cells.
+type csvRow struct {
+	cells map[string]string
+}
+
+func newCSVRow(rec TrialRecord, rep int, seed int64, scope string) *csvRow {
+	return &csvRow{cells: map[string]string{
+		"trial":  rec.Trial,
+		"key":    rec.Key,
+		"cached": strconv.FormatBool(rec.Cached),
+		"rep":    strconv.Itoa(rep),
+		"seed":   strconv.FormatInt(seed, 10),
+		"scope":  scope,
+	}}
+}
+
+func (r *csvRow) set(col string, v string) *csvRow {
+	r.cells[col] = v
+	return r
+}
+
+func (r *csvRow) setInt(col string, v int) *csvRow { return r.set(col, strconv.Itoa(v)) }
+
+func (r *csvRow) setFloat(col string, v float64) *csvRow {
+	return r.set(col, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (r *csvRow) strings() []string {
+	out := make([]string, len(csvHeader))
+	for i, col := range csvHeader {
+		out[i] = r.cells[col]
+	}
+	return out
+}
+
+// csvRows flattens one repetition of one trial into rows, by shape.
+func csvRows(rec TrialRecord, rep core.TrialResult) [][]string {
+	var out [][]string
+	switch {
+	case rep.Churn != nil:
+		c := rep.Churn
+		row := newCSVRow(rec, rep.Rep, rep.Seed, "churn").
+			setFloat("rtt_mean_ms", c.RTT.Mean).setFloat("rtt_p99_ms", c.RTT.P99).
+			setInt("qos_violations", c.QoSViolations).setFloat("power_watts", c.MeanPowerWatts).
+			setInt("rejected", c.Rejected).setInt("arrivals", c.Arrivals).
+			setInt("departures", c.Departures).setInt("migrations", c.Migrations).
+			setInt("crashes", c.Crashes).setInt("evicted", c.Evicted).
+			setInt("retried", c.Retried).setInt("recovered", c.Recovered).
+			setInt("lost", c.Lost).setInt("degraded", c.DegradedSessionEpochs).
+			setFloat("active", c.MeanActive).setFloat("availability", c.Availability)
+		out = append(out, row.strings())
+		for _, e := range c.Epochs {
+			row := newCSVRow(rec, rep.Rep, rep.Seed, "epoch").
+				setInt("epoch", e.Epoch).
+				setFloat("rtt_mean_ms", e.RTT.Mean).setFloat("rtt_p99_ms", e.RTT.P99).
+				setInt("qos_violations", e.QoSViolations).setFloat("power_watts", e.PowerWatts).
+				setInt("rejected", e.Rejected).setInt("arrivals", e.Arrivals).
+				setInt("departures", e.Departures).setInt("migrations", e.Migrations).
+				setInt("crashes", e.Crashes).setInt("evicted", e.Evicted).
+				setInt("retried", e.Retried).setInt("recovered", e.Recovered).
+				setInt("degraded", e.Degraded).setInt("active", e.Active)
+			out = append(out, row.strings())
+		}
+	case rep.Fleet != nil:
+		f := rep.Fleet
+		row := newCSVRow(rec, rep.Rep, rep.Seed, "fleet").
+			setFloat("rtt_mean_ms", f.RTT.Mean).setFloat("rtt_p99_ms", f.RTT.P99).
+			setInt("qos_violations", f.QoSViolations).setFloat("power_watts", f.TotalPowerWatts).
+			setInt("placed", f.Placed).setInt("rejected", f.Rejected)
+		out = append(out, row.strings())
+		for _, m := range f.Machines {
+			for ii, ir := range m.Results {
+				row := newCSVRow(rec, rep.Rep, rep.Seed, "instance").
+					setInt("machine", m.Machine).setInt("instance", ii).
+					set("benchmark", ir.Benchmark).
+					setFloat("server_fps", ir.ServerFPS).setFloat("client_fps", ir.ClientFPS).
+					setFloat("rtt_mean_ms", ir.RTT.Mean).setFloat("rtt_p99_ms", ir.RTT.P99)
+				out = append(out, row.strings())
+			}
+		}
+	default:
+		for ii, ir := range rep.Results {
+			row := newCSVRow(rec, rep.Rep, rep.Seed, "instance").
+				setInt("instance", ii).set("benchmark", ir.Benchmark).
+				setFloat("server_fps", ir.ServerFPS).setFloat("client_fps", ir.ClientFPS).
+				setFloat("rtt_mean_ms", ir.RTT.Mean).setFloat("rtt_p99_ms", ir.RTT.P99).
+				setFloat("power_watts", rep.PowerWatts)
+			out = append(out, row.strings())
+		}
+	}
+	return out
+}
+
+func (s *Server) handleResultsCSV(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.WriteHeader(http.StatusOK)
+	cw := csv.NewWriter(w)
+	_ = cw.Write(csvHeader)
+	for _, rec := range j.snapshotRecords() {
+		for _, rep := range rec.Reps {
+			for _, row := range csvRows(rec, rep) {
+				_ = cw.Write(row)
+			}
+		}
+	}
+	cw.Flush()
+}

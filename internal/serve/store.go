@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"pictor/internal/core"
+	"pictor/internal/exp"
+)
+
+// store is the cross-run result cache: executed trial repetitions keyed
+// by as-executed identity. The grid's in-plan dedup collapses duplicate
+// trials within one batch; the store extends that across jobs, so
+// re-submitting an identical spec (same reps, same base seed) answers
+// from recorded results in milliseconds instead of re-simulating.
+type store struct {
+	mu      sync.Mutex
+	entries map[string][]core.TrialResult
+	hits    int
+	misses  int
+}
+
+func newStore() *store {
+	return &store{entries: map[string][]core.TrialResult{}}
+}
+
+// storeKey is the cache identity of one trial under one run
+// configuration: the trial's canonical (as-executed) key — so two
+// spellings the executor runs identically share a cache line — plus
+// the repetition count and base seed, which select which executions
+// the repetitions actually are. Parallelism is deliberately absent:
+// results are byte-identical at any worker count.
+func storeKey(t exp.Trial, cfg core.ExperimentConfig) string {
+	return fmt.Sprintf("%s|reps=%d|base=%d", t.CanonicalKey(), exp.EffectiveReps(cfg.Reps), cfg.Seed)
+}
+
+// get returns the recorded repetitions for a key, counting the lookup.
+func (s *store) get(key string) ([]core.TrialResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reps, ok := s.entries[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return reps, ok
+}
+
+// put records a trial's executed repetitions. Callers must not store
+// poisoned results (a panicked unit leaves a zero-value repetition):
+// a failed trial should re-execute on resubmission, not serve zeros
+// forever.
+func (s *store) put(key string, reps []core.TrialResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = reps
+}
+
+// stats reports (entries, hits, misses) for the health endpoint.
+func (s *store) stats() (entries, hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries), s.hits, s.misses
+}
