@@ -571,6 +571,45 @@ func BenchmarkFaultChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkGlobalKernelSweep is the scale headline of the fidelity
+// tiers: a 1000-machine heterogeneous fleet offered ~100k sessions
+// over 20 epochs, every machine on the calibrated surrogate tier
+// (SurrogateTail with a zero sampled cohort), driven through the
+// global event kernel with the migration controller on. What took the
+// full per-frame simulator hours runs in seconds here — the pinned
+// guard keeps it that way — while the fidelity fixture in
+// internal/core bounds how far the cheap tier may drift. Calibration
+// is warmed outside the timed region: it is a once-per-process cost
+// shared by fingerprint, not part of the sweep.
+func BenchmarkGlobalKernelSweep(b *testing.B) {
+	cfg := benchCfg()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	shape := exp.FleetShape{
+		Machines: 1000, Policy: "roundrobin", Mix: "heavy", CoreClasses: "8,4",
+		Epochs: 20, ArrivalRate: 5000, MeanSessionEpochs: 2,
+		Migrate: true, SurrogateTail: true,
+	}
+	warm := shape
+	warm.Machines, warm.Epochs, warm.ArrivalRate, warm.MeanSessionEpochs = 2, 1, 1, 1
+	warm.Migrate = false
+	core.RunFleetChurn(warm, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := core.RunFleetChurn(shape, cfg)
+		if r.Arrivals < 90000 {
+			b.Fatalf("sweep offered only %d sessions, want ~100k", r.Arrivals)
+		}
+		if r.MeanActive <= 0 || r.MeanPowerWatts <= 0 {
+			b.Fatalf("sweep produced no execution: active %.1f, %.1f W", r.MeanActive, r.MeanPowerWatts)
+		}
+		b.ReportMetric(float64(r.Arrivals), "sessions/op")
+		if show := printHeader("Kernel", "global event kernel: 100k-session surrogate-tier sweep"); show {
+			fmt.Printf("1000 machines × 20 epochs: %d sessions offered, %d rejected, mean active %.0f, %.1f%% available, %.0f kW mean\n",
+				r.Arrivals, r.Rejected, r.MeanActive, 100*r.Availability, r.MeanPowerWatts/1000)
+		}
+	}
+}
+
 // mustProfile resolves a registered profile for the scenario bench.
 func mustProfile(b *testing.B, name string) app.Profile {
 	p, ok := app.ByName(name)

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+// experimentsMarkdown renders the repository's EXPERIMENTS.md from the
+// dispatch registry, one row per -exp mode in natural order. The table
+// is generated, not hand-written: a registry entry without a doc row
+// (or a doc row without a registry entry) is impossible by
+// construction, and the committed file is pinned against this output
+// by a test so it cannot drift silently.
+func experimentsMarkdown(all map[string]experiment) string {
+	var b strings.Builder
+	b.WriteString("# Experiments\n\n")
+	b.WriteString("Every mode the `pictor-bench -exp` flag accepts. ")
+	b.WriteString("This file is generated from the CLI's dispatch registry ")
+	b.WriteString("(`go test ./cmd/pictor-bench/ -run TestExperimentsDoc -update-experiments` regenerates it); ")
+	b.WriteString("edit the registry descriptions in `main.go`, not this table.\n\n")
+	b.WriteString("| `-exp` | description |\n")
+	b.WriteString("|--------|-------------|\n")
+	for _, id := range experimentIDs(all) {
+		fmt.Fprintf(&b, "| `%s` | %s |\n", id, all[id].desc)
+	}
+	b.WriteString("\n`-exp all` runs the paper-figure modes in presentation order. ")
+	b.WriteString("The `fleet`, `churn` and `faults` modes take the fleet-shape flags ")
+	b.WriteString("(`-machines`, `-policy`, `-mix`, `-cores`, `-profiles`); `churn` and `faults` ")
+	b.WriteString("additionally take the churn (`-rate`, `-duration`, `-epochs`, `-migrate`), ")
+	b.WriteString("robustness (`-mtbf`, `-mttr`, `-retries`, `-backoff`, `-degrade`) and ")
+	b.WriteString("scaling (`-fidelity`, `-occupancy`) flags. ")
+	b.WriteString("See the README's \"Scaling & fidelity tiers\" section for how `-fidelity` ")
+	b.WriteString("trades per-session simulation fidelity for sweep size.\n")
+	return b.String()
+}

@@ -8,6 +8,7 @@
 //	pictor-bench -exp fleet -machines 4 -policy binpack [-mix heavy] [-requests 16] [-profiles all]
 //	pictor-bench -exp churn -machines 4 -rate 1.6 -duration 5 -epochs 10 [-migrate] [-cores 8,4]
 //	pictor-bench -exp faults -machines 5 -cores 8,8,4 -mtbf 5 -mttr 1 -retries 3 -backoff 1 -degrade
+//	pictor-bench -exp churn -machines 1000 -rate 5000 -epochs 20 -fidelity 8 [-occupancy]
 //	pictor-bench -exp all
 //
 // Experiment ids: tab2 tab3 tab4 fig6 fig7 overhead fig8 fig9 fig10
@@ -22,7 +23,14 @@
 // migration; "faults" injects deterministic machine crashes into the
 // churn simulation (-mtbf/-mttr, defaulting to 5/1) and compares
 // drop-on-failure against session failover with retry/backoff
-// (-retries/-backoff) and brown-out QoS tiers (-degrade).
+// (-retries/-backoff) and brown-out QoS tiers (-degrade). See the
+// generated EXPERIMENTS.md for the full mode table.
+//
+// -fidelity N keeps machines [0, N) on full per-frame simulation and
+// runs the rest of the fleet on the calibrated surrogate engine (churn
+// and faults; -1 = full fidelity everywhere), scaling churn sweeps to
+// hundreds of thousands of sessions; -occupancy records per-(machine,
+// epoch) occupancy rows in the detailed table.
 //
 // -profiles selects the workload set every experiment sweeps: "" keeps
 // the paper's Table-2 six, "all" selects every registered profile
@@ -68,31 +76,28 @@ func main() {
 	retries := flag.Int("retries", 0, "churn/faults experiments: failover retry attempts per evicted/rejected session (0 = drop on failure)")
 	backoff := flag.Int("backoff", 1, "churn/faults experiments: base retry backoff in epochs (doubles per attempt)")
 	degrade := flag.Bool("degrade", false, "churn/faults experiments: enable brown-out QoS tiers (degrade resolution before evicting)")
+	fidelity := flag.Int("fidelity", -1, "churn/faults experiments: full-simulation machine cohort size; machines beyond it run the calibrated surrogate engine (-1 = full fidelity everywhere, 0 = all-surrogate)")
+	occupancy := flag.Bool("occupancy", false, "churn/faults experiments: record and print per-(machine, epoch) occupancy rows (placement heatmap feed)")
 	profiles := flag.String("profiles", "", fmt.Sprintf("workload set: comma-separated profile names, \"all\" for every registered profile, empty for the paper's six (registered: %s)", strings.Join(app.Names(), ",")))
 
-	// The dispatch map is built before -exp so its usage string is
-	// derived from the map itself and cannot drift from the vocabulary
-	// (the closures dereference flag pointers only when invoked, after
-	// flag.Parse below).
-	all := map[string]func(core.ExperimentConfig){
-		"tab2": tab2, "tab3": tab3, "tab4": tab4,
-		"fig6": fig6, "fig7": fig7, "overhead": overhead,
-		"fig8": fig8, "fig9": fig9, "fig10": fig10, "fig11": fig11,
-		"fig12": fig12, "fig13": fig13, "fig14": fig14, "fig15": fig15,
-		"fig16": fig16, "fig17": fig17, "fig18": fig18, "fig19": fig19,
-		"fig20": fig20, "fig21": fig21, "fig22": fig22, "grid": grid,
-		"fleet": func(cfg core.ExperimentConfig) {
+	// The dispatch registry is built before -exp so its usage string —
+	// and the generated EXPERIMENTS.md table — are derived from the
+	// registry itself and cannot drift from the vocabulary (the closures
+	// dereference flag pointers only when invoked, after flag.Parse
+	// below).
+	all := experimentRegistry(
+		func(cfg core.ExperimentConfig) {
 			fleetExp(cfg, *machines, *policy, *mix, *requests, *cores, *profiles)
 		},
-		"churn": func(cfg core.ExperimentConfig) {
+		func(cfg core.ExperimentConfig) {
 			churnExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate,
-				*mtbf, *mttr, *retries, *backoff, *degrade)
+				*mtbf, *mttr, *retries, *backoff, *degrade, *fidelity, *occupancy)
 		},
-		"faults": func(cfg core.ExperimentConfig) {
+		func(cfg core.ExperimentConfig) {
 			faultsExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate,
-				*mtbf, *mttr, *retries, *backoff, *degrade)
+				*mtbf, *mttr, *retries, *backoff, *degrade, *fidelity, *occupancy)
 		},
-	}
+	)
 	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22"}
@@ -119,7 +124,7 @@ func main() {
 	if id == "all" {
 		for _, e := range order {
 			banner(e)
-			all[e](cfg)
+			all[e].run(cfg)
 		}
 		return
 	}
@@ -129,15 +134,56 @@ func main() {
 		os.Exit(2)
 	}
 	banner(id)
-	run(cfg)
+	run.run(cfg)
 }
 
 func banner(id string) { fmt.Printf("\n========== %s ==========\n", id) }
 
+// experiment is one dispatchable -exp mode: its runner plus the
+// one-line description the usage string and the generated
+// EXPERIMENTS.md table share.
+type experiment struct {
+	desc string
+	run  func(core.ExperimentConfig)
+}
+
+// experimentRegistry builds the -exp dispatch registry. The fleet-shape
+// experiments take their flag closures as parameters so the registry —
+// and everything generated from it — lives in one place.
+func experimentRegistry(fleetRun, churnRun, faultsRun func(core.ExperimentConfig)) map[string]experiment {
+	return map[string]experiment{
+		"tab2":     {"Table 2: the benchmark suite (application areas, sources)", tab2},
+		"tab3":     {"Table 3: mean-RTT error of each driving methodology vs the human baseline", tab3},
+		"tab4":     {"Table 4: feature matrix vs prior benchmarking frameworks", tab4},
+		"fig6":     {"Figure 6: RTT distributions per benchmark under each methodology", fig6},
+		"fig7":     {"Figure 7: intelligent-client inference cost (CV, RNN, APM)", fig7},
+		"overhead": {"Tracing overhead: native vs traced vs single-buffered FPS", overhead},
+		"fig8":     {"Figure 8: CPU/GPU utilization and memory footprints", fig8},
+		"fig9":     {"Figure 9: network and PCIe bandwidth per benchmark", fig9},
+		"fig10":    {"Figure 10: server/client FPS under co-location (1..max instances)", fig10},
+		"fig11":    {"Figure 11: client-side stage times under co-location", fig11},
+		"fig12":    {"Figure 12: server pipeline stage times under co-location", fig12},
+		"fig13":    {"Figure 13: interposer stage times under co-location", fig13},
+		"fig14":    {"Figure 14: top-down cycle breakdown and IPC under co-location", fig14},
+		"fig15":    {"Figure 15: L3 miss rate under co-location", fig15},
+		"fig16":    {"Figure 16: GPU L2/texture miss rates under co-location", fig16},
+		"fig17":    {"Figure 17: per-instance power draw under consolidation", fig17},
+		"fig18":    {"Figure 18: pairwise co-location QoS (which pairs hold 25 FPS)", fig18},
+		"fig19":    {"Figure 19: D2 interference detail (FPS loss, cache pressure)", fig19},
+		"fig20":    {"Figure 20: containerization overhead (FPS, RTT, readback)", fig20},
+		"fig21":    {"Figure 21: frame-copy optimization (FC stage time)", fig21},
+		"fig22":    {"Figure 22: optimization gains (server/client FPS, RTT)", fig22},
+		"grid":     {"The complete evaluation as one flat trial grid on the parallel runner", grid},
+		"fleet":    {"Multi-machine consolidation: one request stream under every placement policy", fleetRun},
+		"churn":    {"Epoch-based churn (Poisson arrivals, departures): static vs RTT-driven migration; supports fidelity tiers and occupancy detail", churnRun},
+		"faults":   {"Machine crash injection: healthy vs drop-on-failure vs retry+degrade failover; supports fidelity tiers and occupancy detail", faultsRun},
+	}
+}
+
 // experimentIDs lists the -exp vocabulary in natural order (fig6 before
-// fig10), derived from the dispatch map itself so the usage string can
-// never omit an experiment the binary actually accepts.
-func experimentIDs(all map[string]func(core.ExperimentConfig)) []string {
+// fig10), derived from the dispatch registry itself so the usage string
+// can never omit an experiment the binary actually accepts.
+func experimentIDs(all map[string]experiment) []string {
 	ids := make([]string, 0, len(all))
 	for id := range all {
 		ids = append(ids, id)
@@ -526,9 +572,9 @@ func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, reque
 // the detailed per-epoch table for the selected migration setting, then
 // the static-vs-migrate comparison over the identical tenant
 // population.
-func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) {
+func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool) {
 	norm := churnSpec(core.SpecChurn, cfg, machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
-		mtbf, mttr, retries, backoff, degrade)
+		mtbf, mttr, retries, backoff, degrade, fidelity, occupancy)
 	shape := norm.Shape()
 
 	mode := "static"
@@ -537,6 +583,9 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profi
 	}
 	if shape.Faulty() {
 		mode += fmt.Sprintf(", faults mtbf=%g mttr=%g", norm.MTBF, norm.MTTR)
+	}
+	if shape.SurrogateTail {
+		mode += fmt.Sprintf(", surrogate tail (full-sim cohort %d)", shape.FidelitySampled)
 	}
 	fmt.Printf("churn: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, %s\n\n",
 		norm.Machines, coreDesc(norm.CoreClasses), norm.Policy, norm.Mix, profilesDesc(profiles),
@@ -554,6 +603,10 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profi
 	fmt.Printf("policy %s: %d arrivals, %d departures, %d migrations, %d rejected, %d QoS violations\n",
 		r.Policy, r.Arrivals, r.Departures, r.Migrations, r.Rejected, r.QoSViolations)
 	fmt.Print(core.ChurnTable(r))
+	if occupancy {
+		fmt.Printf("\noccupancy (machine × epoch):\n")
+		fmt.Print(core.OccupancyTable(r))
+	}
 
 	fmt.Printf("\nstatic vs migrate (same tenant population):\n")
 	fmt.Print(core.ChurnComparisonTable(rs))
@@ -564,14 +617,22 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profi
 // vocabulary through core.ExperimentSpec — the exact validation the
 // pictor-server control plane applies — so a typo fails before anything
 // runs and the two frontends cannot drift.
-func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) core.ExperimentSpec {
-	norm, err := core.ExperimentSpec{
+func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool) core.ExperimentSpec {
+	spec := core.ExperimentSpec{
 		Kind: kind, Profiles: profiles,
 		Seconds: cfg.Seconds, Warmup: cfg.WarmupSeconds, Seed: &cfg.Seed, Reps: cfg.Reps,
 		Machines: machines, Policy: policy, Mix: mix, CoreClasses: cores,
 		Rate: rate, Duration: duration, Epochs: epochs, Migrate: &migrate,
 		MTBF: mtbf, MTTR: mttr, Retries: retries, Backoff: backoff, Degrade: degrade,
-	}.Normalize()
+		Occupancy: occupancy,
+	}
+	// -fidelity -1 is the CLI's "unset": full per-frame simulation
+	// everywhere, the historical default. Any value >= 0 enables the
+	// surrogate tail with that full-simulation cohort size.
+	if fidelity >= 0 {
+		spec.Fidelity = &fidelity
+	}
+	norm, err := spec.Normalize()
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -582,12 +643,12 @@ func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix
 // compares three recovery postures over the identical tenant
 // population and failure schedule: no faults, drop-on-failure, and
 // session failover with retry/backoff plus brown-out degradation.
-func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool) {
+func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool) {
 	// Normalize defaults the fault knobs independently (mtbf 5, mttr 1
 	// when unset), so an explicit -mttr survives an unset -mtbf default
 	// instead of being clobbered to the pair.
 	norm := churnSpec(core.SpecFaults, cfg, machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
-		mtbf, mttr, retries, backoff, degrade)
+		mtbf, mttr, retries, backoff, degrade, fidelity, occupancy)
 	shape := norm.Shape()
 
 	fmt.Printf("faults: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, MTBF %g MTTR %g\n\n",
@@ -601,6 +662,10 @@ func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, prof
 		resilient.Crashes, resilient.Evicted, resilient.Retried, resilient.Recovered, resilient.Lost,
 		100*resilient.Availability)
 	fmt.Print(core.ChurnTable(resilient))
+	if occupancy {
+		fmt.Printf("\noccupancy (machine × epoch, resilient run):\n")
+		fmt.Print(core.OccupancyTable(resilient))
+	}
 
 	fmt.Printf("\nhealthy vs drop-on-failure vs retry+degrade (same tenants, same failure schedule):\n")
 	fmt.Print(core.ChurnComparisonTable(rs))

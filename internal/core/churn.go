@@ -2,11 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
+	"pictor/internal/engine"
 	"pictor/internal/exp"
 	"pictor/internal/fleet"
-	"pictor/internal/sim"
 	"pictor/internal/stats"
 )
 
@@ -43,6 +42,34 @@ type EpochResult struct {
 	PowerWatts float64
 	// RTT pools every executed instance's RTT distribution.
 	RTT stats.Summary
+	// Occupancy holds one row per machine (index order) when the shape
+	// opts into OccupancyDetail — the placement-heatmap feed. Nil
+	// otherwise, keeping default payloads small.
+	Occupancy []MachineOccupancy
+}
+
+// MachineOccupancy is one machine's epoch snapshot for placement
+// heatmaps: who was up, how loaded, at what fidelity tier, and what it
+// measured. Rows are recorded at the epoch's gauge point (post-
+// admission, pre-execution); RTTMean and PowerWatts are filled in as
+// the machine's measurements are collected (a crashed machine keeps
+// them zero — powered off, nothing executed).
+type MachineOccupancy struct {
+	// Machine is the machine index; State its availability.
+	Machine int
+	State   fleet.MachineState
+	// Residents counts placed sessions; Degraded how many of them run
+	// below full quality; Demand is the summed predicted CPU demand.
+	Residents int
+	Degraded  int
+	Demand    float64
+	// Surrogate marks the machine as running on the surrogate engine
+	// this epoch (fidelity tiers on and outside the sampled cohort).
+	Surrogate bool
+	// RTTMean is the machine's pooled mean RTT (ms); PowerWatts its
+	// modelled wall power over the epoch.
+	RTTMean    float64
+	PowerWatts float64
 }
 
 // ChurnResult is the outcome of one epoch-based churn trial: per-epoch
@@ -96,14 +123,17 @@ type ChurnResult struct {
 	RepsMerged int
 }
 
-// executeFleetChurn lowers a churn-shaped trial onto an epoch loop:
-// depart due sessions, place this epoch's Poisson arrivals, execute
-// every machine as its own cluster with a seed derived per (machine,
-// epoch), measure per-machine RTT, and hand machines that violate the
-// QoS RTT ceiling to the migration controller for the next epoch. The
-// loop runs sequentially inside the one execution unit — the runner
-// already shards trials across workers — so churn sweeps stay
-// byte-identical at any parallelism level.
+// executeFleetChurn lowers a churn-shaped trial onto the global event
+// kernel: the churnPortal implements the fleet lifecycle (depart,
+// fault, retry, arrive, gauge, collect, react) and the fidelity
+// dispatch, and engine.RunChurn drives it through the horizon in the
+// exact order the historical nested epoch loop ran — so full-fidelity
+// runs are byte-identical to the pre-kernel implementation, while
+// shapes with SurrogateTail execute their tail machines on calibrated
+// predictors instead of per-frame simulation. The kernel runs
+// sequentially inside the one execution unit — the runner already
+// shards trials across workers — so churn sweeps stay byte-identical
+// at any parallelism level.
 func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	sh := *t.Fleet
 	// Like the one-shot stream, the arrival schedule must be derived
@@ -181,141 +211,34 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 		}
 	}
 
-	var allRTTs []stats.Summary
-	for e := 0; e < sh.Epochs; e++ {
-		er := EpochResult{Epoch: e}
-		er.Departures = c.DepartDue(e)
-		// Apply this epoch's fault states. A machine entering Down
-		// crashes: its residents are force-released into the failover
-		// queue (or lost, with retries off). Repaired machines pass
-		// through a cold-start epoch before taking placements again.
-		if timeline != nil {
-			for mi, m := range f.Machines {
-				st := timeline[mi][e]
-				if st == fleet.MachineDown && m.State != fleet.MachineDown {
-					er.Crashes++
-					m.State = st
-					er.Evicted += c.EvictAll(mi, e)
-					continue
-				}
-				m.State = st
-			}
-		}
-		er.Retried, er.Recovered = c.RetryDue(e)
-		for _, s := range stream[e] {
-			er.Arrivals++
-			if !c.Offer(s, e) {
-				er.Rejected++
-			}
-		}
-		er.Active = c.Active
-		for mi := range f.Machines {
-			er.Degraded += c.DegradedResidents(mi)
-		}
-
-		// Execute: one cluster per machine, idle machines included (an
-		// empty cluster still burns idle watts — consolidation's whole
-		// power argument rests on that). Crashed machines are the one
-		// exception: down means powered off, so they burn nothing and
-		// measure nothing.
-		machineRTT := make([]stats.Summary, len(f.Machines))
-		var epochRTTs []stats.Summary
-		for mi, m := range f.Machines {
-			if m.State == fleet.MachineDown {
-				continue
-			}
-			// Per-(machine, epoch) seeds derive from the stream base —
-			// not the unit seed, which encodes policy and Migrate — so
-			// a migration-vs-static (or policy) comparison runs matched
-			// execution noise and the delta is the placement's doing.
-			// Mixing in u.Rep keeps repetitions independent.
-			cl := NewCluster(Options{
-				Seed:  exp.DeriveSeed(streamBase, fmt.Sprintf("fleet/churn/m%d/e%d", mi, e), u.Rep),
-				Cores: int(m.Cores + 0.5),
-			})
-			for _, prof := range m.Placed {
-				cl.AddInstance(NewInstanceConfig(prof, HumanDriver()))
-			}
-			cl.Run(sim.DurationOfSeconds(t.Warmup), sim.DurationOfSeconds(t.Measure))
-			er.PowerWatts += cl.TotalPowerWatts()
-
-			var rtts []stats.Summary
-			for _, inst := range cl.Instances {
-				r := inst.Result()
-				if r.ClientFPS < fleet.QoSMinFPS {
-					er.QoSViolations++
-				}
-				if r.RTT.N > 0 {
-					rtts = append(rtts, r.RTT)
-				}
-			}
-			machineRTT[mi] = exp.PoolSummaries(rtts)
-			epochRTTs = append(epochRTTs, rtts...)
-		}
-		er.RTT = exp.PoolSummaries(epochRTTs)
-		allRTTs = append(allRTTs, epochRTTs...)
-
-		// React: this epoch's measurements pick the machines over the
-		// QoS ceiling (worst measured RTT first). With brown-out tiers
-		// enabled a violator first degrades its heaviest resident —
-		// quality sheds before anyone is moved or dropped — and only
-		// falls back to the migration controller when every resident is
-		// already at the deepest tier. Machines measuring below the
-		// all-clear threshold restore one degraded resident per epoch.
-		// The moves and tier changes land before the next epoch
-		// executes; the final epoch skips the controllers — there is no
-		// next epoch for them to help.
-		if (sh.Migrate || sh.Degrade) && e < sh.Epochs-1 {
-			rtt := make([]float64, len(f.Machines))
-			violators := make([]int, 0, len(f.Machines))
-			for mi := range f.Machines {
-				if machineRTT[mi].N > 0 {
-					rtt[mi] = machineRTT[mi].Mean
-					if rtt[mi] > fleet.QoSMaxRTTMs {
-						violators = append(violators, mi)
-					}
-				}
-			}
-			sort.SliceStable(violators, func(a, b int) bool {
-				return rtt[violators[a]] > rtt[violators[b]]
-			})
-			for _, mi := range violators {
-				if sh.Degrade && c.DegradeToFit(mi) > 0 {
-					continue
-				}
-				if sh.Migrate && c.MigrateOff(mi, rtt) {
-					er.Migrations++
-				}
-			}
-			if sh.Degrade {
-				for mi := range f.Machines {
-					if machineRTT[mi].N > 0 && rtt[mi] < fleet.QoSClearRTTMs {
-						c.UpgradeOne(mi)
-					}
-				}
-			}
-		}
-
-		out.Epochs = append(out.Epochs, er)
-		out.Arrivals += er.Arrivals
-		out.Departures += er.Departures
-		out.Migrations += er.Migrations
-		out.Rejected += er.Rejected
-		out.QoSViolations += er.QoSViolations
-		out.Crashes += er.Crashes
-		out.Evicted += er.Evicted
-		out.Retried += er.Retried
-		out.Recovered += er.Recovered
-		out.DegradedSessionEpochs += er.Degraded
-		out.CompliantSessionEpochs += er.Active - er.QoSViolations
-		out.MeanActive += float64(er.Active) / float64(sh.Epochs)
-		out.MeanPowerWatts += er.PowerWatts / float64(sh.Epochs)
+	// Assemble the portal and drive it on the kernel. The fidelity
+	// split normalizes here: without SurrogateTail every machine runs
+	// full fidelity; with it, machines [0, sampled) stay full and the
+	// tail runs the calibrated surrogate (sampled clamps to the fleet).
+	portal := &churnPortal{
+		t: t, sh: sh, u: u, streamBase: streamBase,
+		c: c, f: f, stream: stream, timeline: timeline,
+		sampled: len(f.Machines),
+		out:     out,
 	}
+	portal.full = &fullEngine{p: portal}
+	if sh.SurrogateTail {
+		portal.sampled = sh.FidelitySampled
+		if portal.sampled < 0 {
+			portal.sampled = 0
+		}
+		if portal.sampled > len(f.Machines) {
+			portal.sampled = len(f.Machines)
+		}
+		portal.surrogate = newSurrogateEngine(portal, suite)
+	}
+	engine.RunChurn(portal, portal)
+
 	out.Lost = c.Lost
 	if out.OfferedSessionEpochs > 0 {
 		out.Availability = float64(out.CompliantSessionEpochs) / float64(out.OfferedSessionEpochs)
 	}
-	out.RTT = exp.PoolSummaries(allRTTs)
+	out.RTT = exp.PoolSummaries(portal.allRTTs)
 	return out
 }
 
@@ -398,6 +321,11 @@ func mergeChurn(reps []TrialResult) ChurnResult {
 		e.QoSViolations = int(sums.qos + 0.5)
 		e.PowerWatts = sums.watts
 		e.RTT = exp.PoolSummaries(ertts)
+		// Occupancy rows keep the first repetition's snapshot: the rows
+		// are a placement trace (who sat where, at what tier), and
+		// averaging placements across independently-seeded repetitions
+		// would blur machine identities into meaningless fractions.
+		e.Occupancy = out.Epochs[ei].Occupancy
 		out.Epochs[ei] = e
 	}
 	return out
@@ -527,6 +455,41 @@ func ChurnTable(r ChurnResult) string {
 		"availability %.1f%% (%d/%d compliant session-epochs) · rejected %d · retried %d · recovered %d · lost %d\n",
 		100*r.Availability, r.CompliantSessionEpochs, r.OfferedSessionEpochs,
 		r.Rejected, r.Retried, r.Recovered, r.Lost)
+}
+
+// OccupancyTable renders the per-(machine, epoch) occupancy rows of a
+// churn result recorded with OccupancyDetail — the textual form of the
+// placement heatmap: one row per machine-epoch with state, residency,
+// fidelity tier and measurements. Empty when the shape did not opt in.
+func OccupancyTable(r ChurnResult) string {
+	t := stats.NewTable("epoch", "machine", "state", "residents", "degraded",
+		"demand", "tier", "RTT mean", "W")
+	for _, e := range r.Epochs {
+		for _, o := range e.Occupancy {
+			state := "up"
+			switch o.State {
+			case fleet.MachineDown:
+				state = "down"
+			case fleet.MachineCold:
+				state = "cold"
+			}
+			tier := "full"
+			if o.Surrogate {
+				tier = "surrogate"
+			}
+			t.Row(
+				fmt.Sprintf("%d", e.Epoch),
+				fmt.Sprintf("%d", o.Machine),
+				state,
+				fmt.Sprintf("%d", o.Residents),
+				fmt.Sprintf("%d", o.Degraded),
+				fmt.Sprintf("%.2f", o.Demand),
+				tier,
+				fmt.Sprintf("%.1f ms", o.RTTMean),
+				fmt.Sprintf("%.1f", o.PowerWatts))
+		}
+	}
+	return t.String()
 }
 
 // ChurnComparisonTable renders churn outcomes side by side (one row per

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pictor/internal/engine"
+	"pictor/internal/exp"
+	"pictor/internal/fleet"
+	"pictor/internal/sim"
+	"pictor/internal/stats"
+)
+
+// churnPortal lowers one churn-shaped trial onto the global event
+// kernel: it implements engine.FleetPortal (the fleet lifecycle —
+// departures, faults, failover, arrivals, gauges, measurement
+// collection and the QoS controllers) and engine.EnginePicker (the
+// fidelity dispatch — full per-frame simulation for the sampled
+// cohort, the calibrated surrogate for the tail, nil for crashed
+// machines). The kernel dispatches its methods in the exact order the
+// historical nested loop ran, so a full-fidelity run through the
+// portal is byte-identical to the pre-kernel implementation.
+type churnPortal struct {
+	t          exp.Trial
+	sh         exp.FleetShape
+	u          exp.Unit
+	streamBase int64
+
+	c        *fleet.Churn
+	f        *fleet.Fleet
+	stream   [][]*fleet.Session
+	timeline [][]fleet.MachineState
+
+	// full runs the per-frame simulator; surrogate (nil without
+	// SurrogateTail) evaluates the calibrated predictors; machines
+	// [0, sampled) stay on full fidelity.
+	full      *fullEngine
+	surrogate *surrogateEngine
+	sampled   int
+
+	out *ChurnResult
+	// Per-epoch scratch, reset at Gauge and folded into out at React.
+	er         EpochResult
+	machineRTT []stats.Summary
+	epochRTTs  []stats.Summary
+	allRTTs    []stats.Summary
+}
+
+// Machines and Epochs size the kernel's event schedule.
+func (p *churnPortal) Machines() int { return len(p.f.Machines) }
+func (p *churnPortal) Epochs() int   { return p.sh.Epochs }
+
+// Depart opens the epoch: reset the epoch scratch and release every
+// session whose horizon elapsed.
+func (p *churnPortal) Depart(e int) {
+	p.er = EpochResult{Epoch: e}
+	p.er.Departures = p.c.DepartDue(e)
+}
+
+// Fault applies this epoch's fault states. A machine entering Down
+// crashes: its residents are force-released into the failover queue
+// (or lost, with retries off). Repaired machines pass through a
+// cold-start epoch before taking placements again.
+func (p *churnPortal) Fault(e int) {
+	if p.timeline == nil {
+		return
+	}
+	for mi, m := range p.f.Machines {
+		st := p.timeline[mi][e]
+		if st == fleet.MachineDown && m.State != fleet.MachineDown {
+			p.er.Crashes++
+			m.State = st
+			p.er.Evicted += p.c.EvictAll(mi, e)
+			continue
+		}
+		m.State = st
+	}
+}
+
+// Retry runs the failover attempts that matured this epoch.
+func (p *churnPortal) Retry(e int) {
+	p.er.Retried, p.er.Recovered = p.c.RetryDue(e)
+}
+
+// Arrive offers the epoch's scheduled arrivals to the placement policy.
+func (p *churnPortal) Arrive(e int) {
+	for _, s := range p.stream[e] {
+		p.er.Arrivals++
+		if !p.c.Offer(s, e) {
+			p.er.Rejected++
+		}
+	}
+}
+
+// Gauge snapshots post-admission state: the active-session and
+// brown-out gauges, the per-machine measurement scratch, and (opt-in)
+// the epoch's occupancy rows. Measurement fields of the rows are
+// filled as Collect drains.
+func (p *churnPortal) Gauge(e int) {
+	p.er.Active = p.c.Active
+	for mi := range p.f.Machines {
+		p.er.Degraded += p.c.DegradedResidents(mi)
+	}
+	p.machineRTT = make([]stats.Summary, len(p.f.Machines))
+	p.epochRTTs = p.epochRTTs[:0]
+	if !p.sh.OccupancyDetail {
+		return
+	}
+	rows := make([]MachineOccupancy, len(p.f.Machines))
+	for mi, m := range p.f.Machines {
+		rows[mi] = MachineOccupancy{
+			Machine:   mi,
+			State:     m.State,
+			Residents: len(m.Placed),
+			Degraded:  p.c.DegradedResidents(mi),
+			Demand:    m.Demand,
+			Surrogate: p.surrogate != nil && mi >= p.sampled && m.State != fleet.MachineDown,
+		}
+	}
+	p.er.Occupancy = rows
+}
+
+// EngineFor is the fidelity dispatch: crashed machines are powered off
+// (nil — they execute nothing, measure nothing and burn nothing), the
+// sampled cohort runs the per-frame simulator, and the tail runs the
+// surrogate when the shape enables it.
+func (p *churnPortal) EngineFor(_, mi int) engine.SessionEngine {
+	if p.f.Machines[mi].State == fleet.MachineDown {
+		return nil
+	}
+	if p.surrogate != nil && mi >= p.sampled {
+		return p.surrogate
+	}
+	return p.full
+}
+
+// Collect folds one machine's epoch measurements into the epoch
+// scratch. The kernel delivers machines in index order, so the pooled
+// aggregates are byte-stable.
+func (p *churnPortal) Collect(_, mi int, me engine.MachineEpoch) {
+	p.er.PowerWatts += me.PowerWatts
+	var rtts []stats.Summary
+	for _, s := range me.Sessions {
+		if s.QoSViolation {
+			p.er.QoSViolations++
+		}
+		if s.RTT.N > 0 {
+			rtts = append(rtts, s.RTT)
+		}
+	}
+	p.machineRTT[mi] = exp.PoolSummaries(rtts)
+	p.epochRTTs = append(p.epochRTTs, rtts...)
+	if p.sh.OccupancyDetail {
+		p.er.Occupancy[mi].RTTMean = p.machineRTT[mi].Mean
+		p.er.Occupancy[mi].PowerWatts = me.PowerWatts
+	}
+}
+
+// React closes the epoch: pool the epoch's measurements, hand machines
+// over the QoS ceiling (worst measured RTT first) to the brown-out and
+// migration controllers, and fold the epoch into the horizon rollups.
+// With brown-out tiers enabled a violator first degrades its heaviest
+// resident — quality sheds before anyone is moved or dropped — and
+// only falls back to the migration controller when every resident is
+// already at the deepest tier. Machines measuring below the all-clear
+// threshold restore one degraded resident per epoch. The moves and
+// tier changes land before the next epoch executes; the final epoch
+// skips the controllers — there is no next epoch for them to help.
+func (p *churnPortal) React(e int) {
+	p.er.RTT = exp.PoolSummaries(p.epochRTTs)
+	p.allRTTs = append(p.allRTTs, p.epochRTTs...)
+
+	sh := p.sh
+	if (sh.Migrate || sh.Degrade) && e < sh.Epochs-1 {
+		rtt := make([]float64, len(p.f.Machines))
+		violators := make([]int, 0, len(p.f.Machines))
+		for mi := range p.f.Machines {
+			if p.machineRTT[mi].N > 0 {
+				rtt[mi] = p.machineRTT[mi].Mean
+				if rtt[mi] > fleet.QoSMaxRTTMs {
+					violators = append(violators, mi)
+				}
+			}
+		}
+		sort.SliceStable(violators, func(a, b int) bool {
+			return rtt[violators[a]] > rtt[violators[b]]
+		})
+		for _, mi := range violators {
+			if sh.Degrade && p.c.DegradeToFit(mi) > 0 {
+				continue
+			}
+			if sh.Migrate && p.c.MigrateOff(mi, rtt) {
+				p.er.Migrations++
+			}
+		}
+		if sh.Degrade {
+			for mi := range p.f.Machines {
+				if p.machineRTT[mi].N > 0 && rtt[mi] < fleet.QoSClearRTTMs {
+					p.c.UpgradeOne(mi)
+				}
+			}
+		}
+	}
+
+	out := p.out
+	out.Epochs = append(out.Epochs, p.er)
+	out.Arrivals += p.er.Arrivals
+	out.Departures += p.er.Departures
+	out.Migrations += p.er.Migrations
+	out.Rejected += p.er.Rejected
+	out.QoSViolations += p.er.QoSViolations
+	out.Crashes += p.er.Crashes
+	out.Evicted += p.er.Evicted
+	out.Retried += p.er.Retried
+	out.Recovered += p.er.Recovered
+	out.DegradedSessionEpochs += p.er.Degraded
+	out.CompliantSessionEpochs += p.er.Active - p.er.QoSViolations
+	out.MeanActive += float64(p.er.Active) / float64(sh.Epochs)
+	out.MeanPowerWatts += p.er.PowerWatts / float64(sh.Epochs)
+}
+
+// fullEngine is the full-fidelity session engine: one per-frame
+// simulated cluster per machine-epoch, exactly the execution the
+// historical nested loop ran.
+type fullEngine struct {
+	p *churnPortal
+}
+
+// AdvanceEpoch builds and runs machine mi's cluster for epoch e.
+// Per-(machine, epoch) seeds derive from the stream base — not the
+// unit seed, which encodes policy and Migrate — so a migration-vs-
+// static (or policy) comparison runs matched execution noise and the
+// delta is the placement's doing. Mixing in u.Rep keeps repetitions
+// independent. Idle machines still run (an empty cluster burns idle
+// watts — consolidation's whole power argument rests on that).
+func (fe *fullEngine) AdvanceEpoch(e, mi int) engine.MachineEpoch {
+	p := fe.p
+	m := p.f.Machines[mi]
+	cl := NewCluster(Options{
+		Seed:  exp.DeriveSeed(p.streamBase, fmt.Sprintf("fleet/churn/m%d/e%d", mi, e), p.u.Rep),
+		Cores: int(m.Cores + 0.5),
+	})
+	for _, prof := range m.Placed {
+		cl.AddInstance(NewInstanceConfig(prof, HumanDriver()))
+	}
+	cl.Run(sim.DurationOfSeconds(p.t.Warmup), sim.DurationOfSeconds(p.t.Measure))
+	me := engine.MachineEpoch{
+		PowerWatts: cl.TotalPowerWatts(),
+		Demand:     m.Demand,
+		Sessions:   make([]engine.SessionObs, 0, len(cl.Instances)),
+	}
+	for _, inst := range cl.Instances {
+		r := inst.Result()
+		me.Sessions = append(me.Sessions, engine.SessionObs{
+			RTT:          r.RTT,
+			QoSViolation: r.ClientFPS < fleet.QoSMinFPS,
+		})
+	}
+	return me
+}

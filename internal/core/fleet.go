@@ -434,6 +434,15 @@ func validateFleetShape(shape exp.FleetShape) {
 	if shape.RetryAttempts < 0 || shape.RetryBackoffEpochs < 0 {
 		panic(fmt.Sprintf("core: retry attempts and backoff must be >= 0, got %d, %d", shape.RetryAttempts, shape.RetryBackoffEpochs))
 	}
+	if (shape.SurrogateTail || shape.OccupancyDetail) && !shape.Churn() {
+		panic(fmt.Sprintf("core: fidelity tiers and occupancy detail need a churn shape (Epochs >= 1, got %d) — one-shot admission has no epochs to tier or record", shape.Epochs))
+	}
+	if shape.FidelitySampled < 0 {
+		panic(fmt.Sprintf("core: FidelitySampled must be >= 0, got %d", shape.FidelitySampled))
+	}
+	if shape.FidelitySampled > 0 && !shape.SurrogateTail {
+		panic(fmt.Sprintf("core: FidelitySampled (%d) without SurrogateTail does nothing — full fidelity everywhere is the default; set SurrogateTail to enable the tier split", shape.FidelitySampled))
+	}
 }
 
 // RunFleetConsolidation places the shape's request stream across its

@@ -76,6 +76,16 @@ type ExperimentSpec struct {
 	Retries int     `json:"retries,omitempty"`
 	Backoff int     `json:"backoff,omitempty"`
 	Degrade bool    `json:"degrade,omitempty"`
+
+	// Fidelity knobs (churn and faults kinds). Fidelity is a pointer
+	// because its zero value is meaningful: fidelity 0 runs every
+	// machine on the surrogate, nil keeps full per-frame simulation
+	// everywhere. A non-nil Fidelity enables the surrogate tail and
+	// keeps machines [0, fidelity) on full simulation.
+	Fidelity *int `json:"fidelity,omitempty"`
+	// Occupancy opts into per-(machine, epoch) occupancy rows in churn
+	// results (placement heatmaps; payloads grow with machines×epochs).
+	Occupancy bool `json:"occupancy,omitempty"`
 }
 
 // specField marks one kind-scoped field as set or unset, so Normalize
@@ -154,6 +164,7 @@ func (s ExperimentSpec) Normalize() (ExperimentSpec, error) {
 		{"mtbf", s.MTBF != 0}, {"mttr", s.MTTR != 0},
 		{"retries", s.Retries != 0}, {"backoff", s.Backoff != 0},
 		{"degrade", s.Degrade},
+		{"fidelity", s.Fidelity != nil}, {"occupancy", s.Occupancy},
 	}
 	var outOfScope []specField
 	switch s.Kind {
@@ -247,6 +258,11 @@ func (s ExperimentSpec) Normalize() (ExperimentSpec, error) {
 	if s.Backoff == 0 {
 		s.Backoff = 1
 	}
+	// Fidelity tiers: a set fidelity names the full-simulation cohort
+	// size, so it cannot exceed the fleet.
+	if s.Fidelity != nil && (*s.Fidelity < 0 || *s.Fidelity > s.Machines) {
+		return s, fmt.Errorf("spec: fidelity must be in [0, machines] (= [0, %d]), got %d", s.Machines, *s.Fidelity)
+	}
 	return s, nil
 }
 
@@ -291,6 +307,11 @@ func (s ExperimentSpec) Shape() exp.FleetShape {
 		sh.RetryAttempts = s.Retries
 		sh.RetryBackoffEpochs = s.Backoff
 		sh.Degrade = s.Degrade
+		if s.Fidelity != nil {
+			sh.SurrogateTail = true
+			sh.FidelitySampled = *s.Fidelity
+		}
+		sh.OccupancyDetail = s.Occupancy
 	}
 	return sh
 }

@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pictor/internal/stats"
+)
+
+// TestKernelDispatchOrder pins the clock: events drain by (epoch,
+// phase, machine, seq) regardless of scheduling order.
+func TestKernelDispatchOrder(t *testing.T) {
+	k := New()
+	var got []string
+	record := func(ev Event) {
+		got = append(got, fmt.Sprintf("e%d/%s/m%d", ev.Epoch, ev.Phase, ev.Machine))
+	}
+	// Scheduled deliberately out of order.
+	k.Schedule(1, PhaseDepart, -1, record)
+	k.Schedule(0, PhaseExecute, 2, record)
+	k.Schedule(0, PhaseExecute, 0, record)
+	k.Schedule(0, PhaseReact, -1, record)
+	k.Schedule(0, PhaseDepart, -1, record)
+	k.Schedule(0, PhaseExecute, 1, record)
+	k.Run()
+	want := []string{
+		"e0/depart/m-1", "e0/execute/m0", "e0/execute/m1",
+		"e0/execute/m2", "e0/react/m-1", "e1/depart/m-1",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order = %v, want %v", got, want)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("heap not drained: %d pending", k.Pending())
+	}
+}
+
+// TestKernelFIFOAmongTies pins the tie-break: events with the identical
+// (epoch, phase, machine) key dispatch in scheduling order.
+func TestKernelFIFOAmongTies(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		k.Schedule(3, PhaseGauge, -1, func(Event) { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie dispatch order = %v, want FIFO", got)
+		}
+	}
+}
+
+// TestKernelHandlersSchedule pins dynamic scheduling: a handler can
+// seed future events (the epoch-ahead pattern RunChurn uses), and Now
+// tracks the dispatching event.
+func TestKernelHandlersSchedule(t *testing.T) {
+	k := New()
+	var epochs []int
+	var handler Handler
+	handler = func(ev Event) {
+		if k.Now() != ev {
+			t.Fatalf("Now() = %+v during dispatch of %+v", k.Now(), ev)
+		}
+		epochs = append(epochs, ev.Epoch)
+		if ev.Epoch < 3 {
+			k.Schedule(ev.Epoch+1, PhaseReact, -1, handler)
+		}
+	}
+	k.Schedule(0, PhaseReact, -1, handler)
+	k.Run()
+	if fmt.Sprint(epochs) != fmt.Sprint([]int{0, 1, 2, 3}) {
+		t.Fatalf("self-scheduling horizon = %v", epochs)
+	}
+}
+
+// TestKernelRejectsPastAndBadSchedules pins the guardrails: scheduling
+// into the past mid-run, negative epochs, and nil handlers all panic.
+func TestKernelRejectsPastAndBadSchedules(t *testing.T) {
+	mustPanic := func(name, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+				t.Fatalf("%s: panic %q does not mention %q", name, msg, want)
+			}
+		}()
+		f()
+	}
+	mustPanic("nil handler", "needs a handler", func() {
+		New().Schedule(0, PhaseDepart, -1, nil)
+	})
+	mustPanic("negative epoch", "negative epoch", func() {
+		New().Schedule(-1, PhaseDepart, -1, func(Event) {})
+	})
+	mustPanic("past schedule", "into the past", func() {
+		k := New()
+		k.Schedule(2, PhaseReact, -1, func(Event) {
+			k.Schedule(1, PhaseDepart, -1, func(Event) {})
+		})
+		k.Run()
+	})
+}
+
+// tracePortal records every portal dispatch in order and lets the test
+// choose per-machine engines.
+type tracePortal struct {
+	machines, epochs int
+	trace            []string
+	engines          map[int]SessionEngine
+}
+
+func (p *tracePortal) Machines() int { return p.machines }
+func (p *tracePortal) Epochs() int   { return p.epochs }
+func (p *tracePortal) log(phase string, epoch, machine int) {
+	p.trace = append(p.trace, fmt.Sprintf("%s:e%d:m%d", phase, epoch, machine))
+}
+func (p *tracePortal) Depart(e int) { p.log("depart", e, -1) }
+func (p *tracePortal) Fault(e int)  { p.log("fault", e, -1) }
+func (p *tracePortal) Retry(e int)  { p.log("retry", e, -1) }
+func (p *tracePortal) Arrive(e int) { p.log("arrive", e, -1) }
+func (p *tracePortal) Gauge(e int)  { p.log("gauge", e, -1) }
+func (p *tracePortal) Collect(e, mi int, me MachineEpoch) {
+	p.log(fmt.Sprintf("collect(%g)", me.PowerWatts), e, mi)
+}
+func (p *tracePortal) React(e int) { p.log("react", e, -1) }
+func (p *tracePortal) EngineFor(_, machine int) SessionEngine {
+	return p.engines[machine]
+}
+
+// stubEngine reports a fixed power so Collect calls are attributable.
+type stubEngine struct{ watts float64 }
+
+func (s stubEngine) AdvanceEpoch(int, int) MachineEpoch {
+	return MachineEpoch{PowerWatts: s.watts, Sessions: []SessionObs{{RTT: stats.Summary{N: 1}}}}
+}
+
+// TestRunChurnLifecycle pins the full fleet cycle: every epoch runs
+// depart→fault→retry→arrive→gauge→execute(machines in order)→react,
+// and a nil engine (crashed machine) skips Collect entirely.
+func TestRunChurnLifecycle(t *testing.T) {
+	p := &tracePortal{
+		machines: 3,
+		epochs:   2,
+		engines: map[int]SessionEngine{
+			0: stubEngine{watts: 10},
+			2: stubEngine{watts: 30},
+			// machine 1: nil engine — powered off, never collected.
+		},
+	}
+	RunChurn(p, p)
+	want := strings.Join([]string{
+		"depart:e0:m-1", "fault:e0:m-1", "retry:e0:m-1", "arrive:e0:m-1", "gauge:e0:m-1",
+		"collect(10):e0:m0", "collect(30):e0:m2", "react:e0:m-1",
+		"depart:e1:m-1", "fault:e1:m-1", "retry:e1:m-1", "arrive:e1:m-1", "gauge:e1:m-1",
+		"collect(10):e1:m0", "collect(30):e1:m2", "react:e1:m-1",
+	}, "\n")
+	if got := strings.Join(p.trace, "\n"); got != want {
+		t.Fatalf("lifecycle trace:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRunChurnZeroEpochs pins the empty horizon: nothing dispatches.
+func TestRunChurnZeroEpochs(t *testing.T) {
+	p := &tracePortal{machines: 2, epochs: 0}
+	RunChurn(p, p)
+	if len(p.trace) != 0 {
+		t.Fatalf("zero-epoch run dispatched %v", p.trace)
+	}
+}
+
+// TestPhaseStrings keeps the phase labels stable for traces and panics.
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseDepart: "depart", PhaseFault: "fault", PhaseRetry: "retry",
+		PhaseArrive: "arrive", PhaseGauge: "gauge", PhaseExecute: "execute",
+		PhaseReact: "react", Phase(250): "phase(250)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("Phase(%d).String() = %q, want %q", uint8(p), p.String(), s)
+		}
+	}
+}

@@ -27,6 +27,11 @@ import "pictor/internal/fleet"
 //     is never read.
 //   - With MTBFEpochs <= 0 fault injection is off and MTTREpochs is
 //     never read.
+//   - Without SurrogateTail, FidelitySampled is never read; with it,
+//     the executor clamps the sampled cohort to [0, Machines]. A
+//     surrogate tail with the cohort covering every machine still keys
+//     distinctly — the tier machinery is enabled even when no machine
+//     lands on the surrogate.
 //
 // Normalize does not validate: shapes the executor would reject (an
 // unknown policy name, a one-shot shape with Requests < 1) pass through
@@ -61,6 +66,16 @@ func (f FleetShape) Normalize() FleetShape {
 	}
 	if f.MTBFEpochs <= 0 {
 		f.MTBFEpochs, f.MTTREpochs = 0, 0
+	}
+	if !f.SurrogateTail {
+		f.FidelitySampled = 0
+	} else {
+		if f.FidelitySampled < 0 {
+			f.FidelitySampled = 0
+		}
+		if f.FidelitySampled > f.Machines {
+			f.FidelitySampled = f.Machines
+		}
 	}
 	return f
 }

@@ -166,6 +166,27 @@ type FleetShape struct {
 	// an eviction — runs, and upgrade back once measured RTT clears
 	// fleet.QoSClearRTTMs.
 	Degrade bool
+
+	// Fidelity-tier fields: a churn shape with SurrogateTail set runs
+	// full per-frame simulation only on a sampled machine cohort and a
+	// trained per-profile surrogate everywhere else, trading per-session
+	// measurement fidelity for orders of magnitude in sweep size. Both
+	// serialize into Key() only when set, so every full-fidelity shape
+	// keeps its exact historical key, seeds and fixtures.
+
+	// FidelitySampled is the size of the full-fidelity machine cohort
+	// (machines [0, FidelitySampled) run the per-frame simulator) when
+	// SurrogateTail is set; it is clamped to [0, Machines] and ignored
+	// — normalized away — without SurrogateTail.
+	FidelitySampled int
+	// SurrogateTail runs every machine outside the sampled cohort on
+	// the calibrated surrogate engine instead of full simulation. With
+	// FidelitySampled == 0 the whole fleet is surrogate-driven.
+	SurrogateTail bool
+	// OccupancyDetail records per-(machine, epoch) occupancy rows in
+	// the churn result (state, residents, demand, pooled RTT, power) —
+	// opt-in because the payload grows with machines × epochs.
+	OccupancyDetail bool
 }
 
 // Churn reports whether the shape runs the epoch-based churn simulation
@@ -281,6 +302,14 @@ func (t Trial) Key() string {
 		}
 		if f.Degrade {
 			key += ":degrade=true"
+		}
+		// Fidelity tiers and occupancy detail serialize only when set:
+		// a full-fidelity, rollup-only shape keeps its historical key.
+		if f.SurrogateTail {
+			key += fmt.Sprintf(":fidelity=%d:surrogate=true", f.FidelitySampled)
+		}
+		if f.OccupancyDetail {
+			key += ":occupancy=true"
 		}
 		return key
 	}

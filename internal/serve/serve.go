@@ -45,6 +45,10 @@ type Config struct {
 	// QueueDepth bounds the pending queue (default 64); submissions
 	// beyond it get 503.
 	QueueDepth int
+	// StoreEntries bounds the cross-run result cache (default 256
+	// cached trials); inserting past the bound evicts the
+	// least-recently-used entry.
+	StoreEntries int
 	// Runner substitutes the trial executor (tests); nil runs
 	// core.RunTrialsChecked.
 	Runner RunnerFunc
@@ -67,7 +71,7 @@ func New(cfg Config) *Server {
 	if runner == nil {
 		runner = defaultRunner
 	}
-	s := &Server{store: newStore()}
+	s := &Server{store: newStore(cfg.StoreEntries)}
 	s.queue = newQueue(cfg.Jobs, cfg.QueueDepth, s.store, runner, cfg.Parallel)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -102,10 +106,10 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	entries, hits, misses := s.store.stats()
+	entries, hits, misses, evictions := s.store.stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
-		"cache":  map[string]int{"entries": entries, "hits": hits, "misses": misses},
+		"cache":  map[string]int{"entries": entries, "hits": hits, "misses": misses, "evictions": evictions},
 	})
 }
 

@@ -345,7 +345,7 @@ func TestStoreCanonicalKeySharing(t *testing.T) {
 	if storeKey(a, cfg) == storeKey(a, reps2) {
 		t.Fatal("rep count must be part of the cache identity")
 	}
-	st := newStore()
+	st := newStore(0)
 	st.put(storeKey(a, cfg), []core.TrialResult{{Seed: 7}})
 	got, ok := st.get(storeKey(b, cfg))
 	if !ok || got[0].Seed != 7 {
@@ -354,7 +354,7 @@ func TestStoreCanonicalKeySharing(t *testing.T) {
 	if _, ok := st.get("missing"); ok {
 		t.Fatal("unexpected hit")
 	}
-	if entries, hits, misses := st.stats(); entries != 1 || hits != 1 || misses != 1 {
+	if entries, hits, misses, _ := st.stats(); entries != 1 || hits != 1 || misses != 1 {
 		t.Fatalf("stats = %d/%d/%d, want 1/1/1", entries, hits, misses)
 	}
 }

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"pictor/internal/core"
+)
+
+// rep builds a distinguishable single-repetition result for key
+// identity checks.
+func rep(i int) []core.TrialResult {
+	return []core.TrialResult{{Seed: int64(i)}}
+}
+
+// TestStoreLRUEviction pins the cache's garbage collection: the store
+// holds at most its bound, inserting past it evicts the
+// least-recently-used entry, and both gets and puts refresh recency —
+// so the working set survives and cold sweeps age out.
+func TestStoreLRUEviction(t *testing.T) {
+	s := newStore(3)
+	for i := 0; i < 3; i++ {
+		s.put(fmt.Sprintf("k%d", i), rep(i))
+	}
+
+	// Touch k0: it becomes most-recent, so the next insert must evict
+	// k1 (the oldest untouched entry), not k0.
+	if _, ok := s.get("k0"); !ok {
+		t.Fatal("k0 must be cached")
+	}
+	s.put("k3", rep(3))
+	if _, ok := s.get("k1"); ok {
+		t.Fatal("k1 should have been evicted as least-recently-used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := s.get(k); !ok {
+			t.Fatalf("%s should have survived the eviction", k)
+		}
+	}
+
+	// Re-putting an existing key updates in place — no eviction, and
+	// the new value is served.
+	s.put("k2", rep(42))
+	got, ok := s.get("k2")
+	if !ok || got[0].Seed != 42 {
+		t.Fatalf("k2 re-put must update in place: ok=%t got=%+v", ok, got)
+	}
+
+	// k2 is now most-recent; inserting two fresh keys evicts k0 then
+	// k3 (recency order), leaving {k2, k4, k5}.
+	s.put("k4", rep(4))
+	s.put("k5", rep(5))
+	for _, k := range []string{"k0", "k3"} {
+		if _, ok := s.get(k); ok {
+			t.Fatalf("%s should have aged out", k)
+		}
+	}
+	for _, k := range []string{"k2", "k4", "k5"} {
+		if _, ok := s.get(k); !ok {
+			t.Fatalf("%s should still be cached", k)
+		}
+	}
+
+	entries, _, _, evictions := s.stats()
+	if entries != 3 {
+		t.Fatalf("store grew past its bound: %d entries", entries)
+	}
+	if evictions != 3 {
+		t.Fatalf("want 3 evictions (k1, k0, k3), got %d", evictions)
+	}
+}
+
+// TestStoreDefaultBound pins the default: an unconfigured store is
+// still bounded.
+func TestStoreDefaultBound(t *testing.T) {
+	s := newStore(0)
+	if s.max != defaultStoreEntries {
+		t.Fatalf("default bound = %d, want %d", s.max, defaultStoreEntries)
+	}
+	for i := 0; i < defaultStoreEntries+10; i++ {
+		s.put(fmt.Sprintf("k%d", i), rep(i))
+	}
+	entries, _, _, evictions := s.stats()
+	if entries != defaultStoreEntries {
+		t.Fatalf("unconfigured store grew to %d entries", entries)
+	}
+	if evictions != 10 {
+		t.Fatalf("want 10 evictions, got %d", evictions)
+	}
+}
+
+// TestStoreStatsCountLookups pins the hit/miss accounting the health
+// endpoint reports.
+func TestStoreStatsCountLookups(t *testing.T) {
+	s := newStore(2)
+	if _, ok := s.get("absent"); ok {
+		t.Fatal("empty store cannot hit")
+	}
+	s.put("present", rep(1))
+	if _, ok := s.get("present"); !ok {
+		t.Fatal("stored key must hit")
+	}
+	entries, hits, misses, evictions := s.stats()
+	if entries != 1 || hits != 1 || misses != 1 || evictions != 0 {
+		t.Fatalf("stats = (%d, %d, %d, %d), want (1, 1, 1, 0)", entries, hits, misses, evictions)
+	}
+}

@@ -92,6 +92,10 @@ type (
 	ChurnResult = core.ChurnResult
 	// EpochResult is one churn epoch's fleet-wide outcome.
 	EpochResult = core.EpochResult
+	// MachineOccupancy is one machine's epoch snapshot (state,
+	// residency, fidelity tier, measurements), recorded when the shape
+	// sets OccupancyDetail.
+	MachineOccupancy = core.MachineOccupancy
 	// TrialPanic reports one (trial, rep) unit that panicked under
 	// RunTrialsChecked, carrying the trial's ID, Key() and rep.
 	TrialPanic = exp.PanicError
@@ -351,6 +355,11 @@ func RunChurnComparison(shape FleetShape, cfg ExperimentConfig) []ChurnResult {
 // ChurnTable renders one churn outcome as per-epoch rows (lifecycle,
 // QoS, interactivity, power).
 func ChurnTable(r ChurnResult) string { return core.ChurnTable(r) }
+
+// OccupancyTable renders the per-(machine, epoch) occupancy rows of a
+// churn result recorded with OccupancyDetail — the placement-heatmap
+// feed. Empty when the shape did not opt in.
+func OccupancyTable(r ChurnResult) string { return core.OccupancyTable(r) }
 
 // ChurnComparisonTable renders churn outcomes side by side (static vs
 // migrate).
