@@ -610,6 +610,48 @@ func BenchmarkGlobalKernelSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkDiurnalMillionSweep is the streaming arrival/result API's
+// scale headline: a 10,000-machine surrogate fleet offered over a
+// million sessions across a 70-epoch diurnal day (10k/epoch trough,
+// 20k/epoch peak), streamed through the rollup-only sink so the run
+// holds per-epoch aggregates transiently and retains none — memory is
+// O(machines + peak concurrent sessions), not O(machines × epochs) or
+// O(total arrivals). The in-loop assertions are the sweep's acceptance
+// floor: at least a million offered sessions, a non-empty execution,
+// and zero retained epoch rows.
+func BenchmarkDiurnalMillionSweep(b *testing.B) {
+	cfg := benchCfg()
+	cfg.WarmupSeconds, cfg.Seconds = 1, 5
+	shape := exp.FleetShape{
+		Machines: 10000, Policy: "roundrobin", Mix: "heavy", CoreClasses: "8,4",
+		Epochs: 70, ArrivalRate: 10000, MeanSessionEpochs: 1,
+		RateSchedule: "diurnal", PeakRate: 20000, PeriodEpochs: 70,
+		SurrogateTail: true, RollupOnly: true,
+	}
+	warm := shape
+	warm.Machines, warm.Epochs, warm.ArrivalRate, warm.PeakRate, warm.PeriodEpochs = 2, 1, 1, 2, 1
+	warm.MeanSessionEpochs = 1
+	core.RunFleetChurn(warm, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := core.RunFleetChurn(shape, cfg)
+		if r.Arrivals < 1_000_000 || r.OfferedSessionEpochs < 1_000_000 {
+			b.Fatalf("sweep offered only %d sessions (%d session-epochs), want >= 1M", r.Arrivals, r.OfferedSessionEpochs)
+		}
+		if len(r.Epochs) != 0 {
+			b.Fatalf("streaming sweep retained %d epoch rows, want 0", len(r.Epochs))
+		}
+		if r.MeanActive <= 0 || r.MeanPowerWatts <= 0 {
+			b.Fatalf("sweep produced no execution: active %.1f, %.1f W", r.MeanActive, r.MeanPowerWatts)
+		}
+		b.ReportMetric(float64(r.Arrivals), "sessions/op")
+		if show := printHeader("Diurnal", "streaming arrival API: 1M-session diurnal day on 10k machines"); show {
+			fmt.Printf("10000 machines × 70 epochs (diurnal 10k→20k/epoch): %d sessions offered, %d rejected, mean active %.0f, %.1f%% available, %.0f kW mean\n",
+				r.Arrivals, r.Rejected, r.MeanActive, 100*r.Availability, r.MeanPowerWatts/1000)
+		}
+	}
+}
+
 // mustProfile resolves a registered profile for the scenario bench.
 func mustProfile(b *testing.B, name string) app.Profile {
 	p, ok := app.ByName(name)

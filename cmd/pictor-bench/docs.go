@@ -27,9 +27,12 @@ func experimentsMarkdown(all map[string]experiment) string {
 	b.WriteString("The `fleet`, `churn` and `faults` modes take the fleet-shape flags ")
 	b.WriteString("(`-machines`, `-policy`, `-mix`, `-cores`, `-profiles`); `churn` and `faults` ")
 	b.WriteString("additionally take the churn (`-rate`, `-duration`, `-epochs`, `-migrate`), ")
-	b.WriteString("robustness (`-mtbf`, `-mttr`, `-retries`, `-backoff`, `-degrade`) and ")
-	b.WriteString("scaling (`-fidelity`, `-occupancy`) flags. ")
+	b.WriteString("robustness (`-mtbf`, `-mttr`, `-retries`, `-backoff`, `-degrade`), ")
+	b.WriteString("traffic-schedule (`-schedule`, `-peak`, `-period`) and ")
+	b.WriteString("scaling (`-fidelity`, `-occupancy`, `-stream`) flags. ")
 	b.WriteString("See the README's \"Scaling & fidelity tiers\" section for how `-fidelity` ")
-	b.WriteString("trades per-session simulation fidelity for sweep size.\n")
+	b.WriteString("trades per-session simulation fidelity for sweep size, and ")
+	b.WriteString("\"Diurnal & flash-crowd traffic\" for the rate schedules and the ")
+	b.WriteString("streaming rollup mode behind million-session sweeps.\n")
 	return b.String()
 }

@@ -9,6 +9,7 @@
 //	pictor-bench -exp churn -machines 4 -rate 1.6 -duration 5 -epochs 10 [-migrate] [-cores 8,4]
 //	pictor-bench -exp faults -machines 5 -cores 8,8,4 -mtbf 5 -mttr 1 -retries 3 -backoff 1 -degrade
 //	pictor-bench -exp churn -machines 1000 -rate 5000 -epochs 20 -fidelity 8 [-occupancy]
+//	pictor-bench -exp churn -machines 10000 -rate 10000 -schedule diurnal -peak 20000 -period 70 -epochs 70 -duration 1 -fidelity 0 -stream
 //	pictor-bench -exp all
 //
 // Experiment ids: tab2 tab3 tab4 fig6 fig7 overhead fig8 fig9 fig10
@@ -31,6 +32,14 @@
 // and faults; -1 = full fidelity everywhere), scaling churn sweeps to
 // hundreds of thousands of sessions; -occupancy records per-(machine,
 // epoch) occupancy rows in the detailed table.
+//
+// -schedule bends the churn arrival rate over the horizon: "diurnal"
+// sweeps a sinusoidal day curve from -rate (the trough) to -peak and
+// back every -period epochs; "flash" holds -rate everywhere except a
+// -period-wide spike window at -peak. -stream switches churn results
+// to the aggregate-only streaming sink — per-epoch rows are observed
+// and dropped as epochs close, so a million-session diurnal sweep
+// reports its horizon rollups in O(machines) memory.
 //
 // -profiles selects the workload set every experiment sweeps: "" keeps
 // the paper's Table-2 six, "all" selects every registered profile
@@ -71,6 +80,10 @@ func main() {
 	duration := flag.Float64("duration", 5, "churn experiment: mean session length in epochs (exponential)")
 	epochs := flag.Int("epochs", 10, "churn experiment: epoch count")
 	migrate := flag.Bool("migrate", true, "churn experiment: enable the RTT-driven migration controller in the detailed run")
+	schedule := flag.String("schedule", "", fmt.Sprintf("churn/faults experiments: arrival-rate schedule %v (empty = constant)", fleet.Schedules()))
+	peak := flag.Float64("peak", 0, "churn/faults experiments: diurnal peak / flash spike arrival rate (sessions/epoch; requires a non-constant -schedule)")
+	period := flag.Int("period", 0, "churn/faults experiments: diurnal period / flash spike width in epochs (requires a non-constant -schedule)")
+	stream := flag.Bool("stream", false, "churn/faults experiments: stream per-epoch rows through the aggregate-only sink (rollups only, O(machines) memory — for million-session sweeps)")
 	mtbf := flag.Float64("mtbf", 0, "churn/faults experiments: mean epochs between machine crashes (0 = no faults for churn, 5 for faults)")
 	mttr := flag.Float64("mttr", 0, "churn/faults experiments: mean epochs to repair a crashed machine (0 = 1 for faults; requires -mtbf)")
 	retries := flag.Int("retries", 0, "churn/faults experiments: failover retry attempts per evicted/rejected session (0 = drop on failure)")
@@ -91,11 +104,13 @@ func main() {
 		},
 		func(cfg core.ExperimentConfig) {
 			churnExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate,
-				*mtbf, *mttr, *retries, *backoff, *degrade, *fidelity, *occupancy)
+				*mtbf, *mttr, *retries, *backoff, *degrade, *fidelity, *occupancy,
+				*schedule, *peak, *period, *stream)
 		},
 		func(cfg core.ExperimentConfig) {
 			faultsExp(cfg, *machines, *policy, *mix, *cores, *profiles, *rate, *duration, *epochs, *migrate,
-				*mtbf, *mttr, *retries, *backoff, *degrade, *fidelity, *occupancy)
+				*mtbf, *mttr, *retries, *backoff, *degrade, *fidelity, *occupancy,
+				*schedule, *peak, *period, *stream)
 		},
 	)
 	order := []string{"tab2", "tab4", "fig6", "tab3", "fig7", "overhead",
@@ -175,8 +190,8 @@ func experimentRegistry(fleetRun, churnRun, faultsRun func(core.ExperimentConfig
 		"fig22":    {"Figure 22: optimization gains (server/client FPS, RTT)", fig22},
 		"grid":     {"The complete evaluation as one flat trial grid on the parallel runner", grid},
 		"fleet":    {"Multi-machine consolidation: one request stream under every placement policy", fleetRun},
-		"churn":    {"Epoch-based churn (Poisson arrivals, departures): static vs RTT-driven migration; supports fidelity tiers and occupancy detail", churnRun},
-		"faults":   {"Machine crash injection: healthy vs drop-on-failure vs retry+degrade failover; supports fidelity tiers and occupancy detail", faultsRun},
+		"churn":    {"Epoch-based churn (Poisson arrivals, departures): static vs RTT-driven migration; supports rate schedules, fidelity tiers, occupancy detail and streaming rollups", churnRun},
+		"faults":   {"Machine crash injection: healthy vs drop-on-failure vs retry+degrade failover; supports rate schedules, fidelity tiers, occupancy detail and streaming rollups", faultsRun},
 	}
 }
 
@@ -572,20 +587,26 @@ func fleetExp(cfg core.ExperimentConfig, machines int, policy, mix string, reque
 // the detailed per-epoch table for the selected migration setting, then
 // the static-vs-migrate comparison over the identical tenant
 // population.
-func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool) {
+func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool, schedule string, peak float64, period int, stream bool) {
 	norm := churnSpec(core.SpecChurn, cfg, machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
-		mtbf, mttr, retries, backoff, degrade, fidelity, occupancy)
+		mtbf, mttr, retries, backoff, degrade, fidelity, occupancy, schedule, peak, period, stream)
 	shape := norm.Shape()
 
 	mode := "static"
 	if migrate {
 		mode = "RTT-driven migration"
 	}
+	if shape.Scheduled() {
+		mode += fmt.Sprintf(", %s schedule (peak %g, period %d)", norm.Schedule, norm.Peak, norm.Period)
+	}
 	if shape.Faulty() {
 		mode += fmt.Sprintf(", faults mtbf=%g mttr=%g", norm.MTBF, norm.MTTR)
 	}
 	if shape.SurrogateTail {
 		mode += fmt.Sprintf(", surrogate tail (full-sim cohort %d)", shape.FidelitySampled)
+	}
+	if stream {
+		mode += ", streaming rollups"
 	}
 	fmt.Printf("churn: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, %s\n\n",
 		norm.Machines, coreDesc(norm.CoreClasses), norm.Policy, norm.Mix, profilesDesc(profiles),
@@ -603,7 +624,9 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profi
 	fmt.Printf("policy %s: %d arrivals, %d departures, %d migrations, %d rejected, %d QoS violations\n",
 		r.Policy, r.Arrivals, r.Departures, r.Migrations, r.Rejected, r.QoSViolations)
 	fmt.Print(core.ChurnTable(r))
-	if occupancy {
+	if occupancy && !stream {
+		// Streamed runs drop the rows as epochs close; only the rollup
+		// line above survives.
 		fmt.Printf("\noccupancy (machine × epoch):\n")
 		fmt.Print(core.OccupancyTable(r))
 	}
@@ -617,7 +640,7 @@ func churnExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profi
 // vocabulary through core.ExperimentSpec — the exact validation the
 // pictor-server control plane applies — so a typo fails before anything
 // runs and the two frontends cannot drift.
-func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool) core.ExperimentSpec {
+func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool, schedule string, peak float64, period int, stream bool) core.ExperimentSpec {
 	spec := core.ExperimentSpec{
 		Kind: kind, Profiles: profiles,
 		Seconds: cfg.Seconds, Warmup: cfg.WarmupSeconds, Seed: &cfg.Seed, Reps: cfg.Reps,
@@ -625,6 +648,7 @@ func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix
 		Rate: rate, Duration: duration, Epochs: epochs, Migrate: &migrate,
 		MTBF: mtbf, MTTR: mttr, Retries: retries, Backoff: backoff, Degrade: degrade,
 		Occupancy: occupancy,
+		Schedule:  schedule, Peak: peak, Period: period, Stream: stream,
 	}
 	// -fidelity -1 is the CLI's "unset": full per-frame simulation
 	// everywhere, the historical default. Any value >= 0 enables the
@@ -643,12 +667,12 @@ func churnSpec(kind string, cfg core.ExperimentConfig, machines int, policy, mix
 // compares three recovery postures over the identical tenant
 // population and failure schedule: no faults, drop-on-failure, and
 // session failover with retry/backoff plus brown-out degradation.
-func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool) {
+func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, profiles string, rate, duration float64, epochs int, migrate bool, mtbf, mttr float64, retries, backoff int, degrade bool, fidelity int, occupancy bool, schedule string, peak float64, period int, stream bool) {
 	// Normalize defaults the fault knobs independently (mtbf 5, mttr 1
 	// when unset), so an explicit -mttr survives an unset -mtbf default
 	// instead of being clobbered to the pair.
 	norm := churnSpec(core.SpecFaults, cfg, machines, policy, mix, cores, profiles, rate, duration, epochs, migrate,
-		mtbf, mttr, retries, backoff, degrade, fidelity, occupancy)
+		mtbf, mttr, retries, backoff, degrade, fidelity, occupancy, schedule, peak, period, stream)
 	shape := norm.Shape()
 
 	fmt.Printf("faults: %d machines × %s, %s policy, %s mix over %s, rate %g/epoch, mean session %g epochs, %d epochs, MTBF %g MTTR %g\n\n",
@@ -662,7 +686,7 @@ func faultsExp(cfg core.ExperimentConfig, machines int, policy, mix, cores, prof
 		resilient.Crashes, resilient.Evicted, resilient.Retried, resilient.Recovered, resilient.Lost,
 		100*resilient.Availability)
 	fmt.Print(core.ChurnTable(resilient))
-	if occupancy {
+	if occupancy && !stream {
 		fmt.Printf("\noccupancy (machine × epoch, resilient run):\n")
 		fmt.Print(core.OccupancyTable(resilient))
 	}

@@ -24,6 +24,12 @@ type EpochResult struct {
 	Rejected   int
 	// Active is how many sessions actually executed this epoch.
 	Active int
+	// OfferedSessionEpochs counts, for the sessions arriving this
+	// epoch, every epoch they want service inside the horizon (whether
+	// admitted or not) — the availability denominator, accumulated
+	// incrementally as arrivals are offered so a streamed run never
+	// needs the materialized schedule.
+	OfferedSessionEpochs int
 	// Crashes and Evicted count fault injection: machines that went
 	// down this epoch and the resident sessions they force-released.
 	Crashes int
@@ -157,8 +163,20 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	if sh.Profiles != "" {
 		streamKey += "|profiles=" + sh.Profiles
 	}
-	stream, err := fleet.ChurnStreamFrom(suite, fleet.Mix(sh.Mix), sh.ArrivalRate, sh.MeanSessionEpochs,
-		sh.Epochs, exp.DeriveSeed(streamBase, streamKey, u.Rep))
+	// The schedule joins the stream key only when it actually bends the
+	// rate, so every constant-rate shape derives its exact historical
+	// stream seed (and therefore its exact historical schedule).
+	if sh.Scheduled() {
+		streamKey += fmt.Sprintf("|sched=%s|peak=%g|period=%d",
+			sh.RateSchedule, sh.PeakRate, sh.PeriodEpochs)
+	}
+	src, err := fleet.NewChurnSource(fleet.ArrivalConfig{
+		Suite: suite, Mix: fleet.Mix(sh.Mix),
+		Schedule: sh.RateSchedule, Rate: sh.ArrivalRate,
+		PeakRate: sh.PeakRate, PeriodEpochs: sh.PeriodEpochs,
+		MeanSessionEpochs: sh.MeanSessionEpochs, Epochs: sh.Epochs,
+		Seed: exp.DeriveSeed(streamBase, streamKey, u.Rep),
+	})
 	if err != nil {
 		panic(fmt.Sprintf("core: churn trial %q: %v", t.ID, err))
 	}
@@ -167,6 +185,10 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	f := buildFleet(t.ID, sh)
 	c := fleet.NewChurn(f, pol)
 	c.Retry = fleet.RetryPolicy{MaxAttempts: sh.RetryAttempts, BackoffEpochs: sh.RetryBackoffEpochs}
+	// Terminally-finished sessions flow back into the source's free
+	// list: results hold counts and measurements, never *Session, so a
+	// million-arrival sweep allocates O(peak concurrent), not O(total).
+	c.Pool = src
 
 	// Fault schedule: like the arrival schedule, derived from the
 	// stream base and the fault parameters only — never the key-derived
@@ -198,18 +220,12 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	if out.Mix == "" {
 		out.Mix = string(fleet.MixSuite)
 	}
-	// Offered session-epochs: every epoch each scheduled tenant wants
-	// service inside the horizon — the availability denominator, a pure
-	// function of the stream so every variant shares it.
-	for _, arr := range stream {
-		for _, s := range arr {
-			end := s.Departs
-			if end > sh.Epochs {
-				end = sh.Epochs
-			}
-			out.OfferedSessionEpochs += end - s.Arrive
-		}
-	}
+	// Offered session-epochs — the availability denominator — are
+	// accumulated incrementally by the portal as each arrival is
+	// offered: a pure function of the stream (horizon-clipped wanted
+	// epochs, admitted or not), so every variant still shares it, and a
+	// streamed run never materializes the schedule to compute it.
+	sink, streaming := resolveChurnSink(t.Sink, sh.RollupOnly, u.Rep, u.Seed, out)
 
 	// Assemble the portal and drive it on the kernel. The fidelity
 	// split normalizes here: without SurrogateTail every machine runs
@@ -217,7 +233,8 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	// tail runs the calibrated surrogate (sampled clamps to the fleet).
 	portal := &churnPortal{
 		t: t, sh: sh, u: u, streamBase: streamBase,
-		c: c, f: f, stream: stream, timeline: timeline,
+		c: c, f: f, src: src, timeline: timeline,
+		sink: sink, streaming: streaming,
 		sampled: len(f.Machines),
 		out:     out,
 	}
@@ -238,7 +255,16 @@ func executeFleetChurn(t exp.Trial, u exp.Unit) *ChurnResult {
 	if out.OfferedSessionEpochs > 0 {
 		out.Availability = float64(out.CompliantSessionEpochs) / float64(out.OfferedSessionEpochs)
 	}
-	out.RTT = exp.PoolSummaries(portal.allRTTs)
+	if streaming {
+		// Streaming runs never hold the per-observation summary list
+		// (it grows with total executed session-epochs); the horizon
+		// RTT pools the per-epoch pooled summaries instead — a
+		// documented epoch-weighted approximation of the per-
+		// observation pooling the in-memory path keeps.
+		out.RTT = exp.PoolSummaries(portal.rollupRTTs)
+	} else {
+		out.RTT = exp.PoolSummaries(portal.allRTTs)
+	}
 	return out
 }
 
@@ -288,11 +314,12 @@ func mergeChurn(reps []TrialResult) ChurnResult {
 
 	for ei := range out.Epochs {
 		e := EpochResult{Epoch: ei}
-		sums := struct{ arr, dep, mig, rej, act, crash, evict, retry, rec, degr, qos, watts float64 }{}
+		sums := struct{ arr, dep, mig, rej, act, off, crash, evict, retry, rec, degr, qos, watts float64 }{}
 		ertts := make([]stats.Summary, 0, len(reps))
 		for _, r := range reps {
 			re := r.Churn.Epochs[ei]
 			sums.arr += float64(re.Arrivals) * inv
+			sums.off += float64(re.OfferedSessionEpochs) * inv
 			sums.dep += float64(re.Departures) * inv
 			sums.mig += float64(re.Migrations) * inv
 			sums.rej += float64(re.Rejected) * inv
@@ -313,6 +340,7 @@ func mergeChurn(reps []TrialResult) ChurnResult {
 		e.Migrations = int(sums.mig + 0.5)
 		e.Rejected = int(sums.rej + 0.5)
 		e.Active = int(sums.act + 0.5)
+		e.OfferedSessionEpochs = int(sums.off + 0.5)
 		e.Crashes = int(sums.crash + 0.5)
 		e.Evicted = int(sums.evict + 0.5)
 		e.Retried = int(sums.retry + 0.5)

@@ -28,8 +28,15 @@ type churnPortal struct {
 
 	c        *fleet.Churn
 	f        *fleet.Fleet
-	stream   [][]*fleet.Session
+	src      fleet.ArrivalSource
 	timeline [][]fleet.MachineState
+
+	// sink observes each finished epoch; streaming marks that rows are
+	// not retained in out, so the horizon-wide per-observation RTT list
+	// (allRTTs, growing with executed session-epochs) must not be kept
+	// either — rollupRTTs pools per epoch instead, O(epochs).
+	sink      ChurnSink
+	streaming bool
 
 	// full runs the per-frame simulator; surrogate (nil without
 	// SurrogateTail) evaluates the calibrated predictors; machines
@@ -44,6 +51,7 @@ type churnPortal struct {
 	machineRTT []stats.Summary
 	epochRTTs  []stats.Summary
 	allRTTs    []stats.Summary
+	rollupRTTs []stats.Summary
 }
 
 // Machines and Epochs size the kernel's event schedule.
@@ -82,10 +90,18 @@ func (p *churnPortal) Retry(e int) {
 	p.er.Retried, p.er.Recovered = p.c.RetryDue(e)
 }
 
-// Arrive offers the epoch's scheduled arrivals to the placement policy.
+// Arrive pulls the epoch's arrivals from the streaming source and
+// offers them to the placement policy. Each arrival's horizon-clipped
+// wanted epochs fold into the offered gauge before the offer — the
+// availability denominator counts rejected tenants too.
 func (p *churnPortal) Arrive(e int) {
-	for _, s := range p.stream[e] {
+	for _, s := range p.src.Next(e) {
 		p.er.Arrivals++
+		end := s.Departs
+		if end > p.sh.Epochs {
+			end = p.sh.Epochs
+		}
+		p.er.OfferedSessionEpochs += end - s.Arrive
 		if !p.c.Offer(s, e) {
 			p.er.Rejected++
 		}
@@ -168,7 +184,13 @@ func (p *churnPortal) Collect(_, mi int, me engine.MachineEpoch) {
 // skips the controllers — there is no next epoch for them to help.
 func (p *churnPortal) React(e int) {
 	p.er.RTT = exp.PoolSummaries(p.epochRTTs)
-	p.allRTTs = append(p.allRTTs, p.epochRTTs...)
+	if p.streaming {
+		if p.er.RTT.N > 0 {
+			p.rollupRTTs = append(p.rollupRTTs, p.er.RTT)
+		}
+	} else {
+		p.allRTTs = append(p.allRTTs, p.epochRTTs...)
+	}
 
 	sh := p.sh
 	if (sh.Migrate || sh.Degrade) && e < sh.Epochs-1 {
@@ -202,9 +224,14 @@ func (p *churnPortal) React(e int) {
 		}
 	}
 
+	if p.er.Occupancy != nil {
+		p.sink.ObserveOccupancy(e, p.er.Occupancy)
+	}
+	p.sink.ObserveEpoch(p.er)
+
 	out := p.out
-	out.Epochs = append(out.Epochs, p.er)
 	out.Arrivals += p.er.Arrivals
+	out.OfferedSessionEpochs += p.er.OfferedSessionEpochs
 	out.Departures += p.er.Departures
 	out.Migrations += p.er.Migrations
 	out.Rejected += p.er.Rejected

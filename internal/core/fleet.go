@@ -422,6 +422,9 @@ func validateFleetShape(shape exp.FleetShape) {
 		if err := fleet.ValidateChurnParams(shape.ArrivalRate, shape.MeanSessionEpochs, shape.Epochs); err != nil {
 			panic("core: " + err.Error())
 		}
+		if err := fleet.ValidateSchedule(shape.RateSchedule, shape.ArrivalRate, shape.PeakRate, shape.PeriodEpochs); err != nil {
+			panic("core: " + err.Error())
+		}
 	} else if shape.Requests < 1 {
 		panic(fmt.Sprintf("core: fleet shape needs Requests >= 1, got %d (churn shapes set Epochs instead)", shape.Requests))
 	}
@@ -436,6 +439,9 @@ func validateFleetShape(shape exp.FleetShape) {
 	}
 	if (shape.SurrogateTail || shape.OccupancyDetail) && !shape.Churn() {
 		panic(fmt.Sprintf("core: fidelity tiers and occupancy detail need a churn shape (Epochs >= 1, got %d) — one-shot admission has no epochs to tier or record", shape.Epochs))
+	}
+	if (shape.RateSchedule != "" || shape.RollupOnly) && !shape.Churn() {
+		panic(fmt.Sprintf("core: arrival-rate schedules and rollup-only results need a churn shape (Epochs >= 1, got %d) — one-shot admission has no epochs to schedule or roll up", shape.Epochs))
 	}
 	if shape.FidelitySampled < 0 {
 		panic(fmt.Sprintf("core: FidelitySampled must be >= 0, got %d", shape.FidelitySampled))

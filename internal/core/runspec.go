@@ -1,0 +1,55 @@
+package core
+
+import "fmt"
+
+// SpecOutcome is RunSpec's result envelope: the as-executed spec plus
+// exactly one populated payload, selected by the spec's kind. The
+// typed Run* entry points remain thin sugar over the same lowering —
+// RunSpec exists so callers holding a declarative spec (a config file,
+// a service request, a sweep generator) can execute it without
+// switching on the kind themselves.
+type SpecOutcome struct {
+	// Spec is the normalized, as-executed spec.
+	Spec ExperimentSpec
+	// Grid holds the "grid" kind's outcome; nil otherwise.
+	Grid *SuiteGridResult
+	// Fleet holds the "fleet" kind's per-policy results (in
+	// fleet.PolicyNames order); nil otherwise.
+	Fleet []FleetResult
+	// Churn holds the "churn" kind's {static, migrated} pair or the
+	// "faults" kind's {healthy, drop, resilient} triple; nil otherwise.
+	Churn []ChurnResult
+}
+
+// RunSpec normalizes and executes a declarative experiment spec — the
+// one entry point over the whole experiment vocabulary. It runs
+// exactly the comparison batch the typed entry points run (RunSuiteGrid,
+// RunFleetComparison, RunChurnComparison, RunFaultComparison — each a
+// thin wrapper over the same trial lowering), with cfg's Parallel
+// carried through as execution policy. A spec that fails validation
+// returns the error instead of panicking: specs arrive from config
+// files and network requests, not fixed vocabulary.
+func RunSpec(spec ExperimentSpec, parallel int) (SpecOutcome, error) {
+	s, err := spec.Normalize()
+	if err != nil {
+		return SpecOutcome{}, err
+	}
+	cfg := s.Config()
+	cfg.Parallel = parallel
+	out := SpecOutcome{Spec: s}
+	switch s.Kind {
+	case SpecGrid:
+		g := RunSuiteGrid(cfg)
+		out.Grid = &g
+	case SpecFleet:
+		// RunFleetComparison sweeps every policy itself.
+		out.Fleet = RunFleetComparison(s.Shape(), cfg)
+	case SpecChurn:
+		out.Churn = RunChurnComparison(s.Shape(), cfg)
+	case SpecFaults:
+		out.Churn = RunFaultComparison(s.Shape(), cfg)
+	default:
+		return SpecOutcome{}, fmt.Errorf("core: unknown spec kind %q", s.Kind)
+	}
+	return out, nil
+}

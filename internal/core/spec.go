@@ -69,6 +69,22 @@ type ExperimentSpec struct {
 	Epochs   int     `json:"epochs,omitempty"`
 	Migrate  *bool   `json:"migrate,omitempty"`
 
+	// Arrival-rate schedule knobs (churn and faults kinds). Schedule
+	// selects how the Poisson rate varies over the horizon ("" and
+	// "constant" keep the flat historical rate; "diurnal" is a
+	// sinusoidal day curve; "flash" a spike window — see
+	// fleet.Schedules). Peak is the diurnal peak / flash spike rate
+	// and Period the day length / spike width in epochs; both apply
+	// only under a non-constant schedule.
+	Schedule string  `json:"schedule,omitempty"`
+	Peak     float64 `json:"peak,omitempty"`
+	Period   int     `json:"period,omitempty"`
+	// Stream opts the churn results into the aggregate-only streaming
+	// sink: per-epoch rows are observed and dropped as epochs close, so
+	// a million-session sweep's result holds the horizon rollups in
+	// O(machines) memory instead of O(machines × epochs) rows.
+	Stream bool `json:"stream,omitempty"`
+
 	// Fault knobs (churn and faults kinds; MTBF/MTTR default on for
 	// faults).
 	MTBF    float64 `json:"mtbf,omitempty"`
@@ -165,6 +181,8 @@ func (s ExperimentSpec) Normalize() (ExperimentSpec, error) {
 		{"retries", s.Retries != 0}, {"backoff", s.Backoff != 0},
 		{"degrade", s.Degrade},
 		{"fidelity", s.Fidelity != nil}, {"occupancy", s.Occupancy},
+		{"schedule", s.Schedule != ""}, {"peak", s.Peak != 0},
+		{"period", s.Period != 0}, {"stream", s.Stream},
 	}
 	var outOfScope []specField
 	switch s.Kind {
@@ -232,6 +250,16 @@ func (s ExperimentSpec) Normalize() (ExperimentSpec, error) {
 	}
 	if err := fleet.ValidateChurnParams(s.Rate, s.Duration, s.Epochs); err != nil {
 		return s, fmt.Errorf("spec: rate/duration/epochs: %v", err)
+	}
+	// Rate-schedule knobs. A peak or period under a constant schedule
+	// would be silently ignored by the arrival source — reject it, like
+	// mttr without mtbf, instead of letting the author believe the rate
+	// bends.
+	if scheduled := s.Schedule != "" && s.Schedule != fleet.ScheduleConstant; !scheduled && (s.Peak != 0 || s.Period != 0) {
+		return s, fmt.Errorf("spec: peak (%g) / period (%d) set without a non-constant schedule — set schedule to %q or %q", s.Peak, s.Period, fleet.ScheduleDiurnal, fleet.ScheduleFlash)
+	}
+	if err := fleet.ValidateSchedule(s.Schedule, s.Rate, s.Peak, s.Period); err != nil {
+		return s, fmt.Errorf("spec: %v", err)
 	}
 	// Fault knobs. A repair time without a failure process would be
 	// silently ignored by the executor — reject it instead of letting
@@ -312,6 +340,10 @@ func (s ExperimentSpec) Shape() exp.FleetShape {
 			sh.FidelitySampled = *s.Fidelity
 		}
 		sh.OccupancyDetail = s.Occupancy
+		sh.RateSchedule = s.Schedule
+		sh.PeakRate = s.Peak
+		sh.PeriodEpochs = s.Period
+		sh.RollupOnly = s.Stream
 	}
 	return sh
 }

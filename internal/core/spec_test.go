@@ -87,6 +87,34 @@ func TestSpecNormalizeRejects(t *testing.T) {
 	normErr(t, ExperimentSpec{Kind: "grid", Seconds: -1}, "seconds")
 }
 
+// TestSpecScheduleKnobs pins the traffic-schedule vocabulary: the knobs
+// lower onto the fleet shape, stream selects the rollup-only sink, and
+// every misuse — out-of-scope kind, peak without a bending schedule, an
+// unknown schedule, a peak below the base rate — fails normalization
+// with the shared fleet validation messages.
+func TestSpecScheduleKnobs(t *testing.T) {
+	n := normOK(t, ExperimentSpec{Kind: "churn", Schedule: "diurnal", Peak: 4, Period: 6})
+	sh := n.Shape()
+	if sh.RateSchedule != "diurnal" || sh.PeakRate != 4 || sh.PeriodEpochs != 6 || sh.RollupOnly {
+		t.Fatalf("schedule knobs must lower onto the shape: %+v", sh)
+	}
+	n = normOK(t, ExperimentSpec{Kind: "faults", Schedule: "flash", Peak: 9, Period: 3, Stream: true})
+	if sh := n.Shape(); !sh.RollupOnly || sh.RateSchedule != "flash" {
+		t.Fatalf("stream must lower to a rollup-only shape: %+v", sh)
+	}
+	// A plain constant schedule is valid and changes nothing.
+	normOK(t, ExperimentSpec{Kind: "churn", Schedule: "constant"})
+
+	normErr(t, ExperimentSpec{Kind: "grid", Schedule: "diurnal"}, `"schedule" does not apply`)
+	normErr(t, ExperimentSpec{Kind: "fleet", Stream: true}, `"stream" does not apply`)
+	normErr(t, ExperimentSpec{Kind: "fleet", Peak: 4}, `"peak" does not apply`)
+	normErr(t, ExperimentSpec{Kind: "churn", Peak: 4}, "without a non-constant schedule")
+	normErr(t, ExperimentSpec{Kind: "churn", Schedule: "constant", Period: 6}, "without a non-constant schedule")
+	normErr(t, ExperimentSpec{Kind: "churn", Schedule: "wat"}, "unknown rate schedule")
+	normErr(t, ExperimentSpec{Kind: "churn", Rate: 5, Schedule: "diurnal", Peak: 2, Period: 6}, "peak rate")
+	normErr(t, ExperimentSpec{Kind: "churn", Schedule: "flash", Peak: 9}, "period")
+}
+
 func TestSpecTrialsMatchComparisonBatches(t *testing.T) {
 	fleetSpec := normOK(t, ExperimentSpec{Kind: "fleet", Machines: 2, Requests: 4})
 	if n := len(fleetSpec.Trials()); n != 4 {

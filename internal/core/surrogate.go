@@ -176,6 +176,20 @@ type surrogateEngine struct {
 	p     *churnPortal
 	table surrogateTable
 	model power.Model
+	// batch caches one curve evaluation per profile within a single
+	// AdvanceEpoch call: the machine's load is fixed for the epoch, so
+	// every resident of a profile shares the same interpolated point
+	// and only the per-session jitter differs. The kernel executes one
+	// trial's machines sequentially, so the scratch map never races.
+	batch map[string]surrogateEval
+}
+
+// surrogateEval is one interpolated curve point — the (profile,
+// machine-load) evaluation shared by every resident of the profile on
+// the machine this epoch, before per-session jitter.
+type surrogateEval struct {
+	rtt           stats.Summary
+	fps, cpu, gpu float64
 }
 
 // newSurrogateEngine calibrates (or reuses) the response curves for
@@ -185,7 +199,9 @@ func newSurrogateEngine(p *churnPortal, suite []app.Profile) *surrogateEngine {
 }
 
 // AdvanceEpoch predicts machine mi's epoch from the curves: every
-// resident is evaluated at the machine's relative load, perturbed by
+// resident is evaluated at the machine's relative load (computed once
+// per profile — residents of a profile share the interpolated point
+// bit-for-bit, so batching cannot move a result), perturbed by
 // its deterministic per-(session, epoch, rep) lognormal jitter, and
 // the machine's power is modelled from the summed predicted
 // utilizations (capped at physical capacity, like the full engine's
@@ -202,15 +218,27 @@ func (se *surrogateEngine) AdvanceEpoch(e, mi int) engine.MachineEpoch {
 		Demand:   m.Demand,
 		Sessions: make([]engine.SessionObs, 0, len(residents)),
 	}
+	if se.batch == nil {
+		se.batch = make(map[string]surrogateEval, 8)
+	} else {
+		clear(se.batch)
+	}
 	var cpu, gpu float64
 	for _, s := range residents {
-		cv, ok := se.table[s.Profile.Name]
+		ev, ok := se.batch[s.Profile.Name]
 		if !ok {
-			panic(fmt.Sprintf("core: surrogate has no calibrated curve for profile %q (trial %q)", s.Profile.Name, p.t.ID))
+			cv, cok := se.table[s.Profile.Name]
+			if !cok {
+				panic(fmt.Sprintf("core: surrogate has no calibrated curve for profile %q (trial %q)", s.Profile.Name, p.t.ID))
+			}
+			ev.rtt, ev.fps, ev.cpu, ev.gpu = cv.at(L)
+			se.batch[s.Profile.Name] = ev
 		}
-		rtt, fps, c1, g1 := cv.at(L)
-		jr := sim.NewRNG(exp.DeriveSeed(p.streamBase, fmt.Sprintf("fleet/surrogate/s%d/e%d", s.ID, e), p.u.Rep))
-		j := jr.LogNormalAround(1, surrogateJitterSigma)
+		rtt, fps, c1, g1 := ev.rtt, ev.fps, ev.cpu, ev.gpu
+		// One lognormal draw per (session, epoch, rep) seed; FirstLogNormal
+		// yields the seeded RNG's exact value without the O(607) seeding
+		// cost that dominated million-session sweeps.
+		j := sim.FirstLogNormal(exp.DeriveSeed(p.streamBase, fmt.Sprintf("fleet/surrogate/s%d/e%d", s.ID, e), p.u.Rep), 1, surrogateJitterSigma)
 		rtt.Mean *= j
 		rtt.P1 *= j
 		rtt.P25 *= j

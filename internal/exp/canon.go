@@ -27,6 +27,10 @@ import "pictor/internal/fleet"
 //     is never read.
 //   - With MTBFEpochs <= 0 fault injection is off and MTTREpochs is
 //     never read.
+//   - A constant RateSchedule (implicit "" or explicit "constant")
+//     never reads PeakRate or PeriodEpochs; "" is the representative.
+//     One-shot shapes ignore the schedule knobs and RollupOnly
+//     entirely.
 //   - Without SurrogateTail, FidelitySampled is never read; with it,
 //     the executor clamps the sampled cohort to [0, Machines]. A
 //     surrogate tail with the cohort covering every machine still keys
@@ -57,6 +61,17 @@ func (f FleetShape) Normalize() FleetShape {
 		f.Migrate = false
 		f.ArrivalRate = 0
 		f.MeanSessionEpochs = 0
+		f.RateSchedule = ""
+		f.PeakRate = 0
+		f.PeriodEpochs = 0
+		f.RollupOnly = false
+	}
+	// A constant schedule — implicit "" or explicit "constant" — never
+	// reads the peak or period; the empty string is the representative.
+	if !f.Scheduled() {
+		f.RateSchedule = ""
+		f.PeakRate = 0
+		f.PeriodEpochs = 0
 	}
 	if f.RetryAttempts <= 0 {
 		f.RetryAttempts = 0

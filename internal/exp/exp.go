@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"pictor/internal/app"
+	"pictor/internal/fleet"
 	"pictor/internal/vgl"
 )
 
@@ -136,6 +137,22 @@ type FleetShape struct {
 	// fleet.QoSMaxRTTMs shed their heaviest session to a feasible
 	// machine chosen by the placement policy.
 	Migrate bool
+	// RateSchedule shapes the arrival rate over the horizon (see
+	// fleet.Schedules): "" and "constant" are the historical flat
+	// Poisson rate — byte-identical draws — while "diurnal" sweeps a
+	// sinusoidal day curve from the ArrivalRate trough to PeakRate and
+	// back every PeriodEpochs, and "flash" holds the ArrivalRate
+	// baseline except for a PeakRate spike window of PeriodEpochs
+	// epochs starting at epoch PeriodEpochs. Non-constant schedules
+	// serialize into Key() only when set, so every pre-schedule shape
+	// keeps its exact historical key, seeds and fixtures.
+	RateSchedule string
+	// PeakRate is the diurnal peak / flash spike arrival rate; ignored
+	// — normalized away — for constant schedules.
+	PeakRate float64
+	// PeriodEpochs is the diurnal period / flash spike width in
+	// epochs; ignored for constant schedules.
+	PeriodEpochs int
 
 	// Fault-injection fields: a churn shape with MTBFEpochs > 0 runs a
 	// deterministic per-machine crash/repair process (materialized up
@@ -187,6 +204,15 @@ type FleetShape struct {
 	// the churn result (state, residents, demand, pooled RTT, power) —
 	// opt-in because the payload grows with machines × epochs.
 	OccupancyDetail bool
+	// RollupOnly streams every epoch through the aggregate-only result
+	// sink: the churn result carries exact fleet-wide rollup counters
+	// and a pooled-per-epoch RTT summary, but no per-epoch rows and no
+	// occupancy detail, holding O(machines) memory instead of
+	// O(machines × epochs). The simulation itself is unchanged — the
+	// knob only bounds what the result retains — but it serializes into
+	// Key() when set so a rollup-only result can never answer a cache
+	// lookup that expects full rows.
+	RollupOnly bool
 }
 
 // Churn reports whether the shape runs the epoch-based churn simulation
@@ -195,6 +221,14 @@ func (f FleetShape) Churn() bool { return f.Epochs > 0 }
 
 // Faulty reports whether the shape injects machine crashes.
 func (f FleetShape) Faulty() bool { return f.MTBFEpochs > 0 }
+
+// Scheduled reports whether the shape's arrival rate varies over the
+// horizon — a non-constant RateSchedule. Constant schedules (including
+// an explicit "constant") execute, key and seed exactly like the
+// historical flat-rate path.
+func (f FleetShape) Scheduled() bool {
+	return f.RateSchedule != "" && f.RateSchedule != fleet.ScheduleConstant
+}
 
 // Trial is one independent benchmark session: some instances co-located
 // on one simulated server, run for Warmup+Measure seconds.
@@ -221,6 +255,12 @@ type Trial struct {
 	// not every simulated machine. Not part of Key(): retention does
 	// not affect the trial's outcome.
 	KeepSystem bool
+	// Sink, when non-nil, is an executor-defined streaming observer
+	// for this trial's per-epoch results (the assembly layer asserts
+	// it to its sink interface — see core.ChurnSink). Like KeepSystem
+	// it is not part of Key(): observation does not affect the trial's
+	// outcome, only where the rows land.
+	Sink any
 }
 
 // Single is a one-instance trial with the standard setup.
@@ -292,6 +332,13 @@ func (t Trial) Key() string {
 			key += fmt.Sprintf(":churn=e%d:rate=%g:dur=%g:mig=%t",
 				f.Epochs, f.ArrivalRate, f.MeanSessionEpochs, f.Migrate)
 		}
+		// A non-constant rate schedule serializes only when set — a
+		// constant schedule (implicit or explicit) is the historical
+		// flat-rate trial, same key, same seeds, same fixtures.
+		if f.Scheduled() {
+			key += fmt.Sprintf(":sched=%s:peak=%g:period=%d",
+				f.RateSchedule, f.PeakRate, f.PeriodEpochs)
+		}
 		// Fault injection, failover and degradation likewise serialize
 		// only when enabled, keeping every fault-free key historical.
 		if f.Faulty() {
@@ -310,6 +357,12 @@ func (t Trial) Key() string {
 		}
 		if f.OccupancyDetail {
 			key += ":occupancy=true"
+		}
+		// RollupOnly changes what the result retains (rollups, no rows),
+		// so it must key distinctly — a cache hit across the two modes
+		// would hand a rows-expecting caller a rowless result.
+		if f.RollupOnly {
+			key += ":rollup=true"
 		}
 		return key
 	}

@@ -2,11 +2,9 @@ package fleet
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"pictor/internal/app"
-	"pictor/internal/sim"
 )
 
 // Churn bookkeeping: the fleet admitted a fixed-length stream once and
@@ -81,31 +79,19 @@ func ChurnStream(mix Mix, rate, meanEpochs float64, epochs int, seed int64) ([][
 // durations and profiles draw from independent sim.RNG forks, so the
 // same shape always churns identically on the parallel runner.
 func ChurnStreamFrom(suite []app.Profile, mix Mix, rate, meanEpochs float64, epochs int, seed int64) ([][]*Session, error) {
-	if err := ValidateChurnParams(rate, meanEpochs, epochs); err != nil {
-		return nil, err
-	}
-	draw, err := profileDrawer(suite, mix, seed)
+	src, err := NewChurnSource(ArrivalConfig{
+		Suite: suite, Mix: mix,
+		Rate: rate, MeanSessionEpochs: meanEpochs, Epochs: epochs, Seed: seed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	arrivals := sim.NewRNG(seed).Fork("fleet/churn/arrivals")
-	durations := sim.NewRNG(seed).Fork("fleet/churn/durations")
 	out := make([][]*Session, epochs)
-	id := 0
 	for e := range out {
-		for i := arrivals.Poisson(rate); i > 0; i-- {
-			d := int(math.Ceil(durations.Exponential(meanEpochs)))
-			if d < 1 {
-				d = 1
-			}
-			out[e] = append(out[e], &Session{
-				ID:      id,
-				Profile: draw(),
-				Arrive:  e,
-				Departs: e + d,
-				Machine: -1,
-			})
-			id++
+		// Next reuses its batch slice; a materialized stream owns its
+		// sessions, so copy. Empty epochs stay nil, as they always have.
+		if batch := src.Next(e); len(batch) > 0 {
+			out[e] = append([]*Session(nil), batch...)
 		}
 	}
 	return out, nil
@@ -141,6 +127,20 @@ type Churn struct {
 	// retryQ holds sessions waiting for a failover attempt, in enqueue
 	// order (deterministic: the epoch loop drains it front to back).
 	retryQ []retryEntry
+	// Pool, when set, receives every session whose lifecycle has
+	// terminally ended — departed, rejected with no retry pending, or
+	// lost — so a streaming source can reuse the allocation. Nil keeps
+	// the historical leave-it-to-the-GC behaviour.
+	Pool SessionPool
+}
+
+// recycle hands a terminally-finished session back to the pool. Every
+// call site is a point where no queue, machine or caller may reference
+// the session again.
+func (c *Churn) recycle(s *Session) {
+	if c.Pool != nil {
+		c.Pool.Recycle(s)
+	}
 }
 
 // NewChurn wraps a fleet and a placement policy for churn-driven
@@ -160,6 +160,7 @@ func (c *Churn) Arrive(s *Session) bool {
 	}
 	s.Machine = -1
 	c.Rejected++
+	c.recycle(s)
 	return false
 }
 
@@ -192,6 +193,7 @@ func (c *Churn) DepartDue(epoch int) int {
 			c.releaseSlot(mi, slot)
 			s.Machine = -1
 			departed++
+			c.recycle(s)
 		}
 	}
 	c.Departed += departed

@@ -207,6 +207,7 @@ func (c *Churn) Offer(s *Session, epoch int) bool {
 		c.retryQ = append(c.retryQ, e)
 	} else {
 		c.Lost++
+		c.recycle(s)
 	}
 	return false
 }
@@ -228,6 +229,7 @@ func (c *Churn) EvictAll(mi, epoch int) int {
 			c.retryQ = append(c.retryQ, e)
 		} else {
 			c.Lost++
+			c.recycle(s)
 		}
 	}
 	return n
@@ -249,6 +251,7 @@ func (c *Churn) RetryDue(epoch int) (retried, recovered int) {
 		e := q[i]
 		if e.s.Departs <= epoch {
 			c.Lost++
+			c.recycle(e.s)
 			continue
 		}
 		if e.next > epoch {
@@ -267,6 +270,7 @@ func (c *Churn) RetryDue(epoch int) (retried, recovered int) {
 			keep = append(keep, ne)
 		} else {
 			c.Lost++
+			c.recycle(e.s)
 		}
 	}
 	c.retryQ = keep

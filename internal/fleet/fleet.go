@@ -120,6 +120,13 @@ type Fleet struct {
 	Overcommit float64
 	// Rejected holds the request indices admission turned away.
 	Rejected []int
+	// scratch backs feasible's result between placements. At churn-sweep
+	// arrival rates the feasibility list is the placement path's only
+	// allocation, and it is discarded the moment the policy picks —
+	// reusing one buffer keeps a million-arrival sweep off the garbage
+	// collector. Placement is sequential per fleet (the kernel runs each
+	// trial single-threaded), so one buffer is safe.
+	scratch []*Machine
 }
 
 // New builds a fleet of n identical machines with the given core count
@@ -191,9 +198,21 @@ func (f *Fleet) Admit(reqs []app.Profile, p Placement) {
 
 // placeOne offers one request to the policy over the feasible machines
 // and records the placement, returning the chosen machine's fleet index
-// or -1 when no machine can (or the policy will) hold it.
+// or -1 when no machine can (or the policy will) hold it. Policies
+// whose choice short-circuits (cursorPicker) skip materializing the
+// feasibility list entirely — the scan stops at the machine the full
+// list would have selected anyway.
 func (f *Fleet) placeOne(req app.Profile, p Placement) int {
-	feasible := f.feasible(PredictedCPUDemand(req))
+	d := PredictedCPUDemand(req)
+	if cp, ok := p.(cursorPicker); ok {
+		mi := cp.pickDirect(f, d)
+		if mi < 0 {
+			return -1
+		}
+		f.Machines[mi].place(req)
+		return mi
+	}
+	feasible := f.feasible(d)
 	if len(feasible) == 0 {
 		return -1
 	}
@@ -207,9 +226,10 @@ func (f *Fleet) placeOne(req app.Profile, p Placement) int {
 
 // feasible lists the machines that can hold one more request of demand
 // d, in index order. Machines that are down or cold-starting (fault
-// injection) take no placements.
+// injection) take no placements. The returned slice is valid until the
+// next call (it reuses the fleet's scratch buffer).
 func (f *Fleet) feasible(d float64) []*Machine {
-	var out []*Machine
+	out := f.scratch[:0]
 	for _, m := range f.Machines {
 		if m.State != MachineUp {
 			continue
@@ -218,6 +238,7 @@ func (f *Fleet) feasible(d float64) []*Machine {
 			out = append(out, m)
 		}
 	}
+	f.scratch = out
 	return out
 }
 

@@ -99,16 +99,7 @@ func csvRows(rec TrialRecord, rep core.TrialResult) [][]string {
 			setFloat("active", c.MeanActive).setFloat("availability", c.Availability)
 		out = append(out, row.strings())
 		for _, e := range c.Epochs {
-			row := newCSVRow(rec, rep.Rep, rep.Seed, "epoch").
-				setInt("epoch", e.Epoch).
-				setFloat("rtt_mean_ms", e.RTT.Mean).setFloat("rtt_p99_ms", e.RTT.P99).
-				setInt("qos_violations", e.QoSViolations).setFloat("power_watts", e.PowerWatts).
-				setInt("rejected", e.Rejected).setInt("arrivals", e.Arrivals).
-				setInt("departures", e.Departures).setInt("migrations", e.Migrations).
-				setInt("crashes", e.Crashes).setInt("evicted", e.Evicted).
-				setInt("retried", e.Retried).setInt("recovered", e.Recovered).
-				setInt("degraded", e.Degraded).setInt("active", e.Active)
-			out = append(out, row.strings())
+			out = append(out, epochCSVRow(rec, rep.Rep, rep.Seed, e))
 		}
 	case rep.Fleet != nil:
 		f := rep.Fleet
@@ -140,6 +131,22 @@ func csvRows(rec TrialRecord, rep core.TrialResult) [][]string {
 	return out
 }
 
+// epochCSVRow renders one churn epoch as a CSV row. Shared between the
+// in-memory path (ChurnResult.Epochs) and the streaming spill sink, so
+// the two cannot drift column-wise.
+func epochCSVRow(rec TrialRecord, rep int, seed int64, e core.EpochResult) []string {
+	return newCSVRow(rec, rep, seed, "epoch").
+		setInt("epoch", e.Epoch).
+		setFloat("rtt_mean_ms", e.RTT.Mean).setFloat("rtt_p99_ms", e.RTT.P99).
+		setInt("qos_violations", e.QoSViolations).setFloat("power_watts", e.PowerWatts).
+		setInt("rejected", e.Rejected).setInt("arrivals", e.Arrivals).
+		setInt("departures", e.Departures).setInt("migrations", e.Migrations).
+		setInt("crashes", e.Crashes).setInt("evicted", e.Evicted).
+		setInt("retried", e.Retried).setInt("recovered", e.Recovered).
+		setInt("degraded", e.Degraded).setInt("active", e.Active).
+		strings()
+}
+
 func (s *Server) handleResultsCSV(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
 	if j == nil {
@@ -154,6 +161,13 @@ func (s *Server) handleResultsCSV(w http.ResponseWriter, r *http.Request) {
 			for _, row := range csvRows(rec, rep) {
 				_ = cw.Write(row)
 			}
+		}
+	}
+	// Streamed churn trials carry no Epochs in their results — their
+	// per-epoch rows were spilled by the sink as they happened.
+	for _, spill := range j.snapshotSpills() {
+		for _, row := range spill.snapshot() {
+			_ = cw.Write(row)
 		}
 	}
 	cw.Flush()

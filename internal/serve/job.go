@@ -113,6 +113,7 @@ type Job struct {
 	executed int
 	warnings []string
 	records  []TrialRecord
+	spills   []*churnSpill
 	events   []Event
 	created  time.Time
 	started  time.Time
@@ -252,6 +253,21 @@ func (j *Job) Status() JobStatus {
 		st.Finished = &t
 	}
 	return st
+}
+
+// addSpill registers a streaming sink attached to one of the job's
+// executing trials, in attach (= trial) order.
+func (j *Job) addSpill(cs *churnSpill) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.spills = append(j.spills, cs)
+}
+
+// snapshotSpills copies the attached streaming sinks so far.
+func (j *Job) snapshotSpills() []*churnSpill {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*churnSpill(nil), j.spills...)
 }
 
 // snapshotRecords copies the completed trial records so far.

@@ -148,6 +148,17 @@ func (q *queue) run(j *Job) {
 			rec.Cached = true
 			rec.Reps = reps
 		} else {
+			if j.Spec.Stream {
+				// Streamed churn trials route epoch rows through a spill
+				// sink instead of retaining them in the result. The
+				// rollup-only result is still cached (its Key carries the
+				// rollup marker, so it can never answer a non-streamed
+				// spec); a later cache hit serves the rollup without
+				// epoch rows, matching what the streaming contract keeps.
+				spill := newChurnSpill(t.ID, rec.Key)
+				t.Sink = spill
+				j.addSpill(spill)
+			}
 			res, panics := q.runner(j.ctx, []exp.Trial{t}, cfg)
 			if len(res) > 0 {
 				rec.Reps = res[0]
@@ -164,6 +175,27 @@ func (q *queue) run(j *Job) {
 	// A cancel that lands during the final unit changes nothing: every
 	// unit completed, so the job did its work.
 	j.finish(StateDone)
+}
+
+// health reports the pending channel's occupancy and whether any
+// in-flight (queued or running) job streams its churn results — the
+// signals the health endpoint surfaces so an operator can see both
+// backlog and which sink memory mode the box is currently paying for.
+func (q *queue) health() (depth, capacity int, streaming bool) {
+	q.mu.Lock()
+	jobs := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		jobs = append(jobs, j)
+	}
+	depth, capacity = len(q.pending), cap(q.pending)
+	q.mu.Unlock()
+	for _, j := range jobs {
+		if j.Spec.Stream && !j.Status().State.terminal() {
+			streaming = true
+			break
+		}
+	}
+	return depth, capacity, streaming
 }
 
 // close cancels every job, stops accepting submissions, and waits for

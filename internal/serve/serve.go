@@ -15,7 +15,7 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                  liveness + cache stats
+//	GET  /healthz                  liveness + cache, queue and sink stats
 //	POST /jobs                     submit a spec → 202 {"id": ...}
 //	GET  /jobs                     all jobs, submission order
 //	GET  /jobs/{id}                one job's status
@@ -107,9 +107,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	entries, hits, misses, evictions := s.store.stats()
+	depth, capacity, streaming := s.queue.health()
+	// "sink" is the in-flight result memory mode: "streaming" while any
+	// live job spills epoch rows through the streaming sink, "in-memory"
+	// otherwise — the O(epochs)-vs-rollup distinction an operator sizing
+	// a million-session sweep wants visible before submitting more.
+	sink := "in-memory"
+	if streaming {
+		sink = "streaming"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"cache":  map[string]int{"entries": entries, "hits": hits, "misses": misses, "evictions": evictions},
+		"queue":  map[string]int{"depth": depth, "capacity": capacity},
+		"sink":   sink,
 	})
 }
 

@@ -295,6 +295,117 @@ func TestServerPanicBecomesJobWarning(t *testing.T) {
 	}
 }
 
+// TestServerStreamedChurnSpillsEpochs pins the server half of the
+// streaming result API: a spec with "stream": true runs rollup-only
+// (no per-epoch structs in the JSON export or the result cache), yet
+// /results.csv still carries every epoch row — spilled by the sink as
+// the kernel produced them — and /healthz reports the queue's occupancy
+// plus the in-flight sink memory mode.
+func TestServerStreamedChurnSpillsEpochs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) churn simulation")
+	}
+	_, ts := newTestServer(t, Config{Parallel: 2})
+
+	var health struct {
+		Status string `json:"status"`
+		Queue  struct {
+			Depth    int `json:"depth"`
+			Capacity int `json:"capacity"`
+		} `json:"queue"`
+		Sink string `json:"sink"`
+	}
+	getJSON(t, ts, "/healthz", &health)
+	if health.Status != "ok" || health.Sink != "in-memory" {
+		t.Fatalf("idle health = %+v, want ok/in-memory", health)
+	}
+	if health.Queue.Depth != 0 || health.Queue.Capacity < 1 {
+		t.Fatalf("idle queue = %+v, want empty with positive capacity", health.Queue)
+	}
+
+	const spec = `{"kind":"churn","machines":2,"epochs":3,"seconds":2,"warmup":1,"reps":1,"stream":true}`
+	st := submit(t, ts, spec)
+	done := readSSE(t, ts, st.ID, nil)
+	if done.State != StateDone || done.Warnings != 0 {
+		t.Fatalf("done frame = %+v", done)
+	}
+
+	// JSON export: rollup results only — the streaming contract is that
+	// per-epoch detail never lives in the retained result.
+	var ex exportJSON
+	getJSON(t, ts, "/jobs/"+st.ID+"/results", &ex)
+	if len(ex.Trials) != st.Total {
+		t.Fatalf("export has %d trials, want %d", len(ex.Trials), st.Total)
+	}
+	for _, rec := range ex.Trials {
+		for _, rep := range rec.Reps {
+			if rep.Churn == nil {
+				t.Fatalf("trial %q rep %d: no churn result", rec.Trial, rep.Rep)
+			}
+			if len(rep.Churn.Epochs) != 0 {
+				t.Fatalf("trial %q retained %d epoch rows despite streaming", rec.Trial, len(rep.Churn.Epochs))
+			}
+			if rep.Churn.Arrivals == 0 || rep.Churn.OfferedSessionEpochs == 0 {
+				t.Fatalf("trial %q rollup looks empty: %+v", rec.Trial, rep.Churn)
+			}
+		}
+	}
+
+	// CSV export: the spilled epoch rows are stitched back in — one per
+	// (trial, rep, epoch).
+	epochRows := countCSVEpochRows(t, ts, st.ID)
+	if want := st.Total * 1 * 3; epochRows != want {
+		t.Fatalf("csv has %d epoch rows, want %d", epochRows, want)
+	}
+
+	getJSON(t, ts, "/healthz", &health)
+	if health.Sink != "in-memory" {
+		t.Fatalf("sink mode after completion = %q, want in-memory", health.Sink)
+	}
+
+	// Resubmission answers from the cache: the rollup is served without
+	// re-execution, and — since nothing executed — without epoch rows.
+	st2 := submit(t, ts, spec)
+	done2 := readSSE(t, ts, st2.ID, nil)
+	if done2.Cached != st.Total || done2.Executed != 0 {
+		t.Fatalf("streamed re-run must be fully cached: %+v", done2)
+	}
+	if rows := countCSVEpochRows(t, ts, st2.ID); rows != 0 {
+		t.Fatalf("cached streamed job has %d epoch rows, want 0", rows)
+	}
+}
+
+// countCSVEpochRows fetches a job's CSV export and counts scope=="epoch"
+// rows.
+func countCSVEpochRows(t *testing.T, ts *httptest.Server, jobID string) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + jobID + "/results.csv")
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	defer resp.Body.Close()
+	rows, err := csv.NewReader(resp.Body).ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	scopeCol := -1
+	for i, col := range rows[0] {
+		if col == "scope" {
+			scopeCol = i
+		}
+	}
+	if scopeCol < 0 {
+		t.Fatalf("csv header lacks scope column: %v", rows[0])
+	}
+	n := 0
+	for _, row := range rows[1:] {
+		if row[scopeCol] == "epoch" {
+			n++
+		}
+	}
+	return n
+}
+
 // TestServerRejectsBadSpecs: validation errors come back as 400 with
 // the normalizer's message; unknown JSON fields are rejected.
 func TestServerRejectsBadSpecs(t *testing.T) {

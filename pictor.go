@@ -99,6 +99,19 @@ type (
 	// TrialPanic reports one (trial, rep) unit that panicked under
 	// RunTrialsChecked, carrying the trial's ID, Key() and rep.
 	TrialPanic = exp.PanicError
+	// ExperimentSpec is the declarative experiment vocabulary shared by
+	// the CLI, the benchmark server and RunSpec: one struct naming a
+	// comparison kind plus its knobs, validated by Normalize.
+	ExperimentSpec = core.ExperimentSpec
+	// SpecOutcome is RunSpec's result envelope: the as-executed spec
+	// plus the one payload its kind selects.
+	SpecOutcome = core.SpecOutcome
+	// ChurnSink observes a churn trial's per-epoch results as they
+	// close (streaming result API; set it on Trial.Sink).
+	ChurnSink = core.ChurnSink
+	// ChurnSinkFactory hands out one ChurnSink per execution unit
+	// (rep), for observers that keep per-rep streams separate.
+	ChurnSinkFactory = core.ChurnSinkFactory
 )
 
 // Placement-policy names for FleetShape.Policy.
@@ -115,6 +128,17 @@ const (
 	MixShuffled = string(fleet.MixShuffled)
 	MixHeavy    = string(fleet.MixHeavy)
 )
+
+// Arrival-rate schedule names for FleetShape.RateSchedule ("" and
+// ScheduleConstant keep the flat historical rate).
+const (
+	ScheduleConstant = fleet.ScheduleConstant
+	ScheduleDiurnal  = fleet.ScheduleDiurnal
+	ScheduleFlash    = fleet.ScheduleFlash
+)
+
+// Schedules lists the arrival-rate schedules in documentation order.
+func Schedules() []string { return fleet.Schedules() }
 
 // FleetPolicyNames lists every placement policy in comparison order.
 func FleetPolicyNames() []string { return fleet.PolicyNames() }
@@ -373,6 +397,17 @@ func ChurnComparisonTable(rs []ChurnResult) string { return core.ChurnComparison
 // schedule, returning {healthy, drop, resilient}.
 func RunFaultComparison(shape FleetShape, cfg ExperimentConfig) []ChurnResult {
 	return core.RunFaultComparison(shape, cfg)
+}
+
+// RunSpec normalizes and executes a declarative experiment spec — the
+// one entry point over the whole experiment vocabulary, running exactly
+// the comparison batch the typed Run* entry points run (each of those
+// is thin sugar over the same trial lowering). parallel shards the
+// batch's independent trials across cores (<= 0 means every core).
+// Exactly one field of the outcome is populated, selected by the
+// spec's kind; invalid specs return Normalize's error.
+func RunSpec(spec ExperimentSpec, parallel int) (SpecOutcome, error) {
+	return core.RunSpec(spec, parallel)
 }
 
 // RunOptimization reproduces Figure 22 for one benchmark.

@@ -26,4 +26,12 @@ go test -run '^$' -bench . -benchmem \
 go test -run '^$' -bench 'BenchmarkSuiteGridSequential' \
     -benchtime "$GRID_BENCHTIME" . | tee -a "$TMP"
 
+# Fleet-scale sweeps pinned by benchguard: the per-epoch fault
+# bookkeeping loop and the kernel/streaming scale contracts (one
+# iteration each — they assert their own scale internally).
+go test -run '^$' -bench 'BenchmarkFaultChurnBookkeeping$' \
+    -benchmem ./internal/fleet/ | tee -a "$TMP"
+go test -run '^$' -bench 'BenchmarkGlobalKernelSweep$|BenchmarkDiurnalMillionSweep$' \
+    -benchtime 1x -benchmem . | tee -a "$TMP"
+
 python3 scripts/benchjson.py "$TMP" "$OUT" "$SECTION"
